@@ -1,0 +1,44 @@
+/// Ablation A1 — which parts of Algo_NGST earn their keep?
+///
+/// Four variants on identical corrupted inputs: the full algorithm, without
+/// voter pruning, without the A/B/C bit windows, and without the
+/// carry-plausibility gate.  DESIGN.md calls these out as the design
+/// choices the dynamic algorithm rests on (§3.1–§3.3).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+bench::TemporalAlgorithm variant(const char* name, bool pruning, bool windows,
+                                 bool gate) {
+  spacefts::core::AlgoNgstConfig config;
+  config.enable_pruning = pruning;
+  config.enable_windows = windows;
+  config.enable_plausibility_gate = gate;
+  const spacefts::core::AlgoNgst algo(config);
+  return {name,
+          [algo](std::span<std::uint16_t> s) { (void)algo.preprocess(s); }};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Ablation A1 — Algo_NGST component knockouts (Lambda=80)\n");
+  const std::vector<bench::TemporalAlgorithm> roster{
+      bench::no_preprocessing(),
+      variant("full", true, true, true),
+      variant("no-pruning", false, true, true),
+      variant("no-windows", true, false, true),
+      variant("no-carry-gate", true, true, false),
+  };
+  bench::print_header("Gamma0", roster);
+  for (double gamma0 : {0.001, 0.005, 0.01, 0.05, 0.1}) {
+    const auto psi = bench::measure_psi(
+        roster, bench::uncorrelated_mask(gamma0), /*trials=*/400,
+        spacefts::datagen::kDefaultFrames, spacefts::datagen::kDefaultStart,
+        spacefts::datagen::kDefaultSigma, /*seed=*/0xAB1A);
+    bench::print_row(gamma0, psi);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Ablation A4 — end-to-end system experiment on the simulated 16-node
+/// CR-rejection pipeline (Fig. 1): how do bit flips in worker data memory
+/// propagate to the *science product* and the downlink, with and without
+/// input preprocessing?
+///
+/// Reports, per (Γ₀, preprocessing mode): RMS error of the integrated flux
+/// image against the fault-free product, the Rice compression ratio of the
+/// downlinked frame (§2: corruption costs compression), simulated makespan,
+/// and preprocessing correction counts.
+#include <cstdio>
+
+#include "spacefts/dist/pipeline.hpp"
+#include "spacefts/metrics/error.hpp"
+#include "spacefts/ngst/readout.hpp"
+
+int main() {
+  std::printf("# E2E — distributed CR-rejection pipeline under memory faults\n");
+  std::printf("# 64x64 detector, 16x16 fragments, 4 workers, 24 readouts\n");
+
+  spacefts::common::Rng scene_rng(0xE2E);
+  const auto flux = spacefts::ngst::make_flux_scene(64, 64, scene_rng);
+  spacefts::ngst::RampParams ramp;
+  ramp.frames = 24;
+  ramp.cr_probability = 0.08;
+  const auto baseline = spacefts::ngst::make_ramp_stack(flux, ramp, scene_rng);
+
+  spacefts::dist::PipelineConfig base;
+  base.workers = 4;
+  base.fragment_side = 16;
+  base.algo.lambda = 100.0;
+
+  // Fault-free reference product.
+  auto ref_config = base;
+  ref_config.preprocess = spacefts::dist::PreprocessMode::kNone;
+  spacefts::common::Rng ref_rng(1);
+  const auto reference =
+      spacefts::dist::run_pipeline(baseline.readouts, ref_config, ref_rng);
+  std::printf("# reference: makespan %.4f s, compression ratio %.3f\n\n",
+              reference.makespan_s, reference.compression_ratio);
+
+  std::printf("%-8s  %-10s  %12s  %10s  %10s  %12s  %10s\n", "Gamma0", "Mode",
+              "FluxRMSE", "RiceRatio", "Makespan", "FaultsInj", "PixCorr");
+  for (double gamma0 : {0.0, 0.005, 0.02}) {
+    for (auto mode : {spacefts::dist::PreprocessMode::kNone,
+                      spacefts::dist::PreprocessMode::kAlgoNgst,
+                      spacefts::dist::PreprocessMode::kMedian3,
+                      spacefts::dist::PreprocessMode::kBitVote3}) {
+      auto config = base;
+      config.gamma0 = gamma0;
+      config.preprocess = mode;
+      spacefts::common::Rng rng(42);  // identical fault streams per mode
+      const auto result =
+          spacefts::dist::run_pipeline(baseline.readouts, config, rng);
+      const double rmse = spacefts::metrics::rms_error<float>(
+          reference.flux.pixels(), result.flux.pixels());
+      std::printf("%-8g  %-10s  %12.4f  %10.3f  %10.4f  %12zu  %10zu\n",
+                  gamma0, spacefts::dist::to_string(mode), rmse,
+                  result.compression_ratio, result.makespan_s,
+                  result.faults_injected, result.pixels_corrected);
+    }
+  }
+  return 0;
+}

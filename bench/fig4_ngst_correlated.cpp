@@ -1,0 +1,31 @@
+/// Experiment E3 — Figure 4: "Performance comparison for NGST datasets
+/// affected with a correlated fault-model" (§2.2.3, Eq. 2).
+///
+/// Reproduced series: Ψ vs the run-initiation probability Γ_ini for
+/// Algo_NGST (optimal Λ = 100 in this regime) against both generic
+/// baselines.  Expected shape: Algo_NGST well below both smoothers through
+/// the practical range; the two baselines track each other closely.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  std::printf("# Figure 4 — NGST, correlated (run-model) faults\n");
+  std::printf("# Memory layout: one 16-bit word per line; vertical runs hit\n");
+  std::printf("# the same bit of consecutive readouts.\n");
+  const std::vector<bench::TemporalAlgorithm> roster{
+      bench::no_preprocessing(),
+      bench::algo_ngst(100.0),
+      bench::median3(),
+      bench::bitvote3(),
+  };
+  bench::print_header("GammaIni", roster);
+  for (double gamma_ini : {0.005, 0.01, 0.02, 0.035, 0.05, 0.075, 0.1}) {
+    const auto psi = bench::measure_psi(
+        roster, bench::correlated_mask(gamma_ini), /*trials=*/400,
+        spacefts::datagen::kDefaultFrames, spacefts::datagen::kDefaultStart,
+        spacefts::datagen::kDefaultSigma, /*seed=*/0xF164);
+    bench::print_row(gamma_ini, psi);
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// Experiment E5 — Figure 6: quasi-NGST synthetic datasets with σ from 0 to
+/// 8000 (Π(1) = 27000 throughout), comparing Υ ∈ {2, 4, 6}.
+///
+/// Expected shapes (§6): for σ = 0 more neighbours is strictly better
+/// (Υ = 6 ≥ Υ = 4 ≥ Υ = 2, especially at higher Γ₀); as σ grows, large Υ
+/// causes pseudo-corrections and the ordering flattens/reverses; at
+/// σ = 250 an Υ-crossover appears around Γ₀ ≈ 0.04; at σ = 8000 Υ = 6 is
+/// worst at low Γ₀ yet best at very high Γ₀, with the flattest curve.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  std::printf("# Figure 6 — quasi-NGST sigma sweep, Upsilon in {2,4,6}\n");
+  std::printf("# Lambda=80, Pi(1)=27000, 300 datasets/point\n");
+  for (double sigma : {0.0, 25.0, 250.0, 8000.0}) {
+    std::printf("\n## sigma = %g\n", sigma);
+    const std::vector<bench::TemporalAlgorithm> roster{
+        bench::no_preprocessing(),
+        bench::algo_ngst(80.0, 2),
+        bench::algo_ngst(80.0, 4),
+        bench::algo_ngst(80.0, 6),
+    };
+    bench::print_header("Gamma0", roster);
+    for (double gamma0 : {0.0025, 0.005, 0.01, 0.02, 0.04, 0.08, 0.16}) {
+      const auto psi = bench::measure_psi(
+          roster, bench::uncorrelated_mask(gamma0), /*trials=*/300,
+          spacefts::datagen::kDefaultFrames, spacefts::datagen::kDefaultStart,
+          sigma, /*seed=*/0xF166);
+      bench::print_row(gamma0, psi);
+    }
+  }
+  return 0;
+}

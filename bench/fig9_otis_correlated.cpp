@@ -1,0 +1,35 @@
+/// Experiment E7 — Figure 9: "Performance comparison when OTIS datasets
+/// have correlated faults" (§2.2.3 run model over the cube's memory image).
+///
+/// Expected shape: all three preprocessing algorithms share a breakdown
+/// point near Γ_ini ≈ 0.2; beyond it, preprocessing *adds* error (clean
+/// bits get pseudo-corrected from corrupted neighbourhoods), so the
+/// preprocessed curves cross above the no-preprocessing curve.
+#include <cstdio>
+
+#include "otis_util.hpp"
+
+int main() {
+  std::printf("# Figure 9 — OTIS, correlated (run-model) faults\n");
+  const std::vector<bench::SpatialAlgorithm> roster{
+      bench::otis_none(),
+      bench::algo_otis(),
+      bench::otis_median(),
+      bench::otis_bitvote(),
+  };
+  for (auto kind : {spacefts::datagen::OtisSceneKind::kBlob,
+                    spacefts::datagen::OtisSceneKind::kStripe,
+                    spacefts::datagen::OtisSceneKind::kSpots}) {
+    std::printf("\n## dataset: %s\n", spacefts::datagen::to_string(kind));
+    bench::print_otis_header("GammaIni", roster);
+    for (double gamma_ini : {0.025, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4}) {
+      const auto psi = bench::measure_otis_psi(
+          roster, kind, bench::otis_correlated(gamma_ini), /*trials=*/5,
+          /*seed=*/0xF169);
+      std::printf("%-12g", gamma_ini);
+      for (double p : psi) std::printf("  %18.6g", p);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+/// Module throughput microbenchmarks (google-benchmark).
+///
+/// Not a paper figure — engineering numbers a deployment needs: pixels/s
+/// of each preprocessing algorithm and of the substrates they feed.  The
+/// word-parallel Algo_NGST is the production path (fig3 measures the
+/// bit-serial reference, whose cost model matches the paper's).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/datagen/otis_scenes.hpp"
+#include "spacefts/edac/protected_memory.hpp"
+#include "spacefts/fault/models.hpp"
+#include "spacefts/fits/fits.hpp"
+#include "spacefts/ngst/cr_reject.hpp"
+#include "spacefts/ngst/readout.hpp"
+#include "spacefts/rice/rice.hpp"
+#include "spacefts/smoothing/temporal.hpp"
+
+namespace {
+
+std::vector<std::uint16_t> corrupted_series() {
+  spacefts::datagen::NgstSimulator sim(0xBEEF);
+  spacefts::common::Rng rng(0xBEEF2);
+  auto series = sim.sequence();
+  const auto mask =
+      spacefts::fault::UncorrelatedFaultModel(0.01).mask16(series.size(), rng);
+  spacefts::fault::apply_mask<std::uint16_t>(series, mask);
+  return series;
+}
+
+void BM_AlgoNgstWordParallel(benchmark::State& state) {
+  const spacefts::core::AlgoNgst algo;
+  const auto base = corrupted_series();
+  for (auto _ : state) {
+    auto working = base;
+    benchmark::DoNotOptimize(algo.preprocess(working));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_AlgoNgstWordParallel);
+
+void BM_AlgoOtisPlane(benchmark::State& state) {
+  spacefts::datagen::OtisSceneGenerator gen(0xBEEF3);
+  const auto scene = gen.generate(spacefts::datagen::OtisSceneKind::kBlob);
+  const spacefts::core::AlgoOtis algo;
+  auto plane = scene.radiance.plane_image(0);
+  for (auto _ : state) {
+    auto working = plane;
+    benchmark::DoNotOptimize(
+        algo.preprocess_plane(working, scene.wavelengths_um[0]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(plane.size()));
+}
+BENCHMARK(BM_AlgoOtisPlane);
+
+void BM_CrRejectIntegrate(benchmark::State& state) {
+  spacefts::common::Rng rng(0xBEEF4);
+  const auto flux = spacefts::ngst::make_flux_scene(32, 32, rng);
+  spacefts::ngst::RampParams ramp;
+  ramp.frames = 32;
+  const auto stack = spacefts::ngst::make_ramp_stack(flux, ramp, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spacefts::ngst::reject_and_integrate(stack.readouts));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_CrRejectIntegrate);
+
+void BM_RiceCompress(benchmark::State& state) {
+  spacefts::datagen::NgstSimulator sim(0xBEEF5);
+  std::vector<std::uint16_t> data;
+  for (int s = 0; s < 64; ++s) {
+    const auto seq = sim.sequence();
+    data.insert(data.end(), seq.begin(), seq.end());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spacefts::rice::compress16(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 2));
+}
+BENCHMARK(BM_RiceCompress);
+
+void BM_FitsRoundtrip(benchmark::State& state) {
+  spacefts::datagen::NgstSimulator sim(0xBEEF6);
+  const auto img = sim.base_scene({});
+  for (auto _ : state) {
+    const auto hdu = spacefts::fits::make_image_hdu(img);
+    benchmark::DoNotOptimize(spacefts::fits::read_image_u16(hdu));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(img.size() * 2));
+}
+BENCHMARK(BM_FitsRoundtrip);
+
+void BM_SecDedScrub(benchmark::State& state) {
+  std::vector<std::uint16_t> pixels(4096, 27000);
+  std::vector<std::uint16_t> out;
+  for (auto _ : state) {
+    spacefts::edac::ProtectedMemory memory(pixels);
+    benchmark::DoNotOptimize(memory.scrub(out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(pixels.size() * 2));
+}
+BENCHMARK(BM_SecDedScrub);
+
+void BM_MedianBaseline(benchmark::State& state) {
+  const auto base = corrupted_series();
+  for (auto _ : state) {
+    auto working = base;
+    spacefts::smoothing::median_smooth3(working);
+    benchmark::DoNotOptimize(working.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_MedianBaseline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,19 @@
+#include "spacefts/alft/alft.hpp"
+
+namespace spacefts::alft {
+
+const char* to_string(Decision d) noexcept {
+  switch (d) {
+    case Decision::kPrimary:
+      return "primary";
+    case Decision::kSecondary:
+      return "secondary";
+    case Decision::kPrimaryDubious:
+      return "primary-dubious";
+    case Decision::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace spacefts::alft

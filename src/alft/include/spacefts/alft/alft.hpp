@@ -1,0 +1,115 @@
+/// \file alft.hpp
+/// Application-Level Fault Tolerance (ALFT) — the process-level scheme [5]
+/// the paper positions input preprocessing as a *complement* to (§7):
+/// a primary task runs on one node; if it dies or its output fails an
+/// acceptance filter, a scaled-down secondary run on another node supplies
+/// a partial output, and a "logic grid" decides which output to ship.
+///
+/// The paper's point — reproduced by the e2e experiments — is that ALFT
+/// alone fails catastrophically when corrupted *input* makes both primary
+/// and secondary produce equally spurious outputs; preprocessing removes
+/// that common-mode failure.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace spacefts::alft {
+
+/// Which output the logic grid selected.
+enum class Decision {
+  kPrimary,         ///< primary output accepted
+  kSecondary,       ///< primary rejected/absent, secondary accepted
+  kPrimaryDubious,  ///< both rejected by the filter; primary shipped flagged
+  kFailed,          ///< nothing available at all
+};
+
+[[nodiscard]] const char* to_string(Decision d) noexcept;
+
+/// Outcome of one ALFT execution.
+template <typename Output>
+struct AlftResult {
+  Decision decision = Decision::kFailed;
+  std::optional<Output> output;       ///< absent only when decision == kFailed
+  bool primary_ran = false;           ///< primary produced *something*
+  bool primary_accepted = false;
+  bool secondary_ran = false;
+  bool secondary_accepted = false;
+};
+
+/// Primary/secondary executor with an acceptance filter.
+///
+/// Tasks return std::nullopt to signal a crash/hang (the basic ALFT fault
+/// model); the filter implements the extended scheme's output screening.
+/// The logic grid:
+///
+///   primary accepted                 -> primary      (secondary not run)
+///   primary rejected or absent:
+///     secondary accepted             -> secondary
+///     secondary rejected, primary ran -> primary, flagged dubious
+///     secondary rejected, no primary  -> secondary, flagged dubious
+///     neither produced anything       -> failed
+template <typename Output>
+class AlftExecutor {
+ public:
+  using Task = std::function<std::optional<Output>()>;
+  using Filter = std::function<bool(const Output&)>;
+
+  /// \throws std::invalid_argument if primary or filter is empty (the
+  /// secondary is optional — basic ALFT without one degenerates to
+  /// filter-or-fail).
+  AlftExecutor(Task primary, Task secondary, Filter filter)
+      : primary_(std::move(primary)),
+        secondary_(std::move(secondary)),
+        filter_(std::move(filter)) {
+    if (!primary_ || !filter_) {
+      throw std::invalid_argument("AlftExecutor: primary and filter required");
+    }
+  }
+
+  /// Runs the scheme once.
+  [[nodiscard]] AlftResult<Output> execute() const {
+    AlftResult<Output> r;
+    std::optional<Output> primary_out = primary_();
+    r.primary_ran = primary_out.has_value();
+    if (primary_out && filter_(*primary_out)) {
+      r.primary_accepted = true;
+      r.decision = Decision::kPrimary;
+      r.output = std::move(primary_out);
+      return r;
+    }
+    std::optional<Output> secondary_out =
+        secondary_ ? secondary_() : std::nullopt;
+    r.secondary_ran = secondary_out.has_value();
+    if (secondary_out && filter_(*secondary_out)) {
+      r.secondary_accepted = true;
+      r.decision = Decision::kSecondary;
+      r.output = std::move(secondary_out);
+      return r;
+    }
+    // Both screened out: ship *something* (flagged) if anything ran —
+    // downlink bandwidth is precious but a dubious frame beats none.
+    if (primary_out) {
+      r.decision = Decision::kPrimaryDubious;
+      r.output = std::move(primary_out);
+      return r;
+    }
+    if (secondary_out) {
+      r.decision = Decision::kPrimaryDubious;
+      r.output = std::move(secondary_out);
+      return r;
+    }
+    r.decision = Decision::kFailed;
+    return r;
+  }
+
+ private:
+  Task primary_;
+  Task secondary_;
+  Filter filter_;
+};
+
+}  // namespace spacefts::alft

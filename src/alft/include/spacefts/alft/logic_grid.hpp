@@ -1,0 +1,149 @@
+/// \file logic_grid.hpp
+/// The extended ALFT output-selection scheme (§7): "a better level of
+/// fault-tolerance … can be obtained … by developing suitable filters for
+/// the primary output to determine whether to run the secondary, and then
+/// to decide on which output to choose based on a logic grid approach
+/// [29]".
+///
+/// A LogicGrid holds any number of named, weighted acceptance filters.
+/// Scoring an output runs every filter and sums the weights of those that
+/// pass, normalised by the total weight.  The grid decision:
+///
+///   primary score >= accept_threshold              -> primary
+///     (the secondary is not even consulted/run)
+///   else secondary score >= accept_threshold       -> secondary
+///   else ship the higher-scoring product, flagged  -> primary-dubious
+///   nothing produced at all                        -> failed
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "spacefts/alft/alft.hpp"
+
+namespace spacefts::alft {
+
+/// One named acceptance criterion.
+template <typename Output>
+struct WeightedFilter {
+  std::string name;
+  double weight = 1.0;
+  std::function<bool(const Output&)> test;
+};
+
+/// Result of scoring one output against the grid.
+struct GridScore {
+  double score = 0.0;                        ///< in [0, 1]
+  std::vector<std::string> failed_filters;   ///< names of filters not passed
+};
+
+/// Outcome of a grid decision.
+template <typename Output>
+struct GridResult {
+  Decision decision = Decision::kFailed;
+  std::optional<Output> output;
+  GridScore primary_score;
+  GridScore secondary_score;   ///< scored only when the secondary ran
+  bool secondary_ran = false;
+};
+
+/// The filter grid.
+template <typename Output>
+class LogicGrid {
+ public:
+  /// \param accept_threshold minimum normalised score for outright
+  /// acceptance, in (0, 1].  \throws std::invalid_argument outside range.
+  explicit LogicGrid(double accept_threshold = 1.0)
+      : accept_threshold_(accept_threshold) {
+    if (accept_threshold <= 0.0 || accept_threshold > 1.0) {
+      throw std::invalid_argument("LogicGrid: threshold outside (0, 1]");
+    }
+  }
+
+  /// Adds a filter.  \throws std::invalid_argument for an empty test or a
+  /// non-positive weight.
+  void add_filter(WeightedFilter<Output> filter) {
+    if (!filter.test || filter.weight <= 0.0) {
+      throw std::invalid_argument("LogicGrid: bad filter");
+    }
+    total_weight_ += filter.weight;
+    filters_.push_back(std::move(filter));
+  }
+
+  [[nodiscard]] std::size_t filter_count() const noexcept {
+    return filters_.size();
+  }
+
+  /// Scores one output: fraction of filter weight passed.
+  /// \throws std::logic_error when no filters were added.
+  [[nodiscard]] GridScore score(const Output& output) const {
+    if (filters_.empty()) {
+      throw std::logic_error("LogicGrid: no filters configured");
+    }
+    GridScore result;
+    double passed = 0.0;
+    for (const auto& filter : filters_) {
+      if (filter.test(output)) {
+        passed += filter.weight;
+      } else {
+        result.failed_filters.push_back(filter.name);
+      }
+    }
+    result.score = passed / total_weight_;
+    return result;
+  }
+
+  /// Runs the full extended-ALFT cycle: primary task, grid screening, the
+  /// scaled-down secondary only if needed, final grid decision.
+  [[nodiscard]] GridResult<Output> execute(
+      const std::function<std::optional<Output>()>& primary,
+      const std::function<std::optional<Output>()>& secondary) const {
+    if (!primary) throw std::invalid_argument("LogicGrid: primary required");
+    GridResult<Output> r;
+    std::optional<Output> primary_out = primary();
+    if (primary_out) {
+      r.primary_score = score(*primary_out);
+      if (r.primary_score.score >= accept_threshold_) {
+        r.decision = Decision::kPrimary;
+        r.output = std::move(primary_out);
+        return r;
+      }
+    }
+    std::optional<Output> secondary_out = secondary ? secondary() : std::nullopt;
+    r.secondary_ran = secondary_out.has_value();
+    if (secondary_out) {
+      r.secondary_score = score(*secondary_out);
+      if (r.secondary_score.score >= accept_threshold_) {
+        r.decision = Decision::kSecondary;
+        r.output = std::move(secondary_out);
+        return r;
+      }
+    }
+    // Neither product clears the bar: ship the better-scoring one, flagged.
+    if (primary_out &&
+        (!secondary_out ||
+         r.primary_score.score >= r.secondary_score.score)) {
+      r.decision = Decision::kPrimaryDubious;
+      r.output = std::move(primary_out);
+      return r;
+    }
+    if (secondary_out) {
+      r.decision = Decision::kPrimaryDubious;
+      r.output = std::move(secondary_out);
+      return r;
+    }
+    r.decision = Decision::kFailed;
+    return r;
+  }
+
+ private:
+  std::vector<WeightedFilter<Output>> filters_;
+  double total_weight_ = 0.0;
+  double accept_threshold_;
+};
+
+}  // namespace spacefts::alft

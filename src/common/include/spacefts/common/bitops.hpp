@@ -1,0 +1,78 @@
+/// \file bitops.hpp
+/// Bit-level helpers shared by the fault models and the voting algorithms.
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace spacefts::common {
+
+/// Lowest power of two that is >= \p v (v = 0 maps to 1, matching the
+/// paper's use as a threshold quantizer where a zero threshold still
+/// delimits bit position 0).  Saturates at the type's highest power of two
+/// when no representable power of two is >= v.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr T ceil_pow2(T v) noexcept {
+  constexpr T kHighBit = static_cast<T>(T{1} << (sizeof(T) * 8 - 1));
+  if (v <= 1) return T{1};
+  if (v > kHighBit) return kHighBit;
+  return std::bit_ceil(v);
+}
+
+/// Index of the most significant set bit; \pre v != 0.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr int msb_index(T v) noexcept {
+  return std::bit_width(v) - 1;
+}
+
+/// Reinterprets an IEEE-754 binary32 as its bit pattern (and back).  OTIS
+/// pixels are 32-bit floats; all bit-level fault injection and voting on
+/// them goes through these two functions.
+[[nodiscard]] inline std::uint32_t float_to_bits(float f) noexcept {
+  return std::bit_cast<std::uint32_t>(f);
+}
+[[nodiscard]] inline float bits_to_float(std::uint32_t b) noexcept {
+  return std::bit_cast<float>(b);
+}
+
+/// AND-reduction of all elements except index \p skip.  Building block of
+/// the paper's GRT ("greater-than-threshold") leave-one-out vote: a bit set
+/// in the result disagrees with every consulted neighbour but one.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr T and_all_except(std::span<const T> values,
+                                         std::size_t skip) noexcept {
+  T acc = static_cast<T>(~T{0});
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != skip) acc = static_cast<T>(acc & values[i]);
+  }
+  return acc;
+}
+
+/// The paper's GRT function: OR over all leave-one-out AND-reductions.
+/// A bit is set iff at least (n-1) of the n voters assert it.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr T grt(std::span<const T> values) noexcept {
+  if (values.empty()) return T{0};
+  T acc = T{0};
+  for (std::size_t k = 0; k < values.size(); ++k) {
+    acc = static_cast<T>(acc | and_all_except(values, k));
+  }
+  return acc;
+}
+
+/// Number of differing bits between two equally sized buffers.
+template <std::unsigned_integral T>
+[[nodiscard]] constexpr std::size_t hamming_distance(
+    std::span<const T> a, std::span<const T> b) noexcept {
+  std::size_t bits = 0;
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bits += static_cast<std::size_t>(std::popcount(static_cast<T>(a[i] ^ b[i])));
+  }
+  return bits;
+}
+
+}  // namespace spacefts::common

@@ -1,0 +1,244 @@
+/// \file image.hpp
+/// Dense 2-D and 3-D pixel containers used throughout the library.
+///
+/// `Image<T>` is a row-major width x height raster (the unit handled by the
+/// NGST fragmentation pipeline and the OTIS per-wavelength planes).
+/// `Cube<T>` is a width x height x depth volume; for NGST the depth axis is
+/// time (the N temporal readouts of one baseline), for OTIS it is wavelength.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace spacefts::common {
+
+/// Row-major 2-D raster with value semantics.
+template <typename T>
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a width x height image, all pixels set to \p fill.
+  Image(std::size_t width, std::size_t height, T fill = T{})
+      : width_(width), height_(height), pixels_(width * height, fill) {}
+
+  /// Adopts an existing row-major buffer. \throws std::invalid_argument if
+  /// the buffer size does not equal width*height.
+  Image(std::size_t width, std::size_t height, std::vector<T> pixels)
+      : width_(width), height_(height), pixels_(std::move(pixels)) {
+    if (pixels_.size() != width_ * height_) {
+      throw std::invalid_argument("Image: buffer size != width*height");
+    }
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t size() const noexcept { return pixels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t x, std::size_t y) noexcept {
+    return pixels_[y * width_ + x];
+  }
+  [[nodiscard]] const T& operator()(std::size_t x, std::size_t y) const noexcept {
+    return pixels_[y * width_ + x];
+  }
+
+  /// Bounds-checked access. \throws std::out_of_range.
+  [[nodiscard]] T& at(std::size_t x, std::size_t y) {
+    check(x, y);
+    return (*this)(x, y);
+  }
+  [[nodiscard]] const T& at(std::size_t x, std::size_t y) const {
+    check(x, y);
+    return (*this)(x, y);
+  }
+
+  [[nodiscard]] std::span<T> pixels() noexcept { return pixels_; }
+  [[nodiscard]] std::span<const T> pixels() const noexcept { return pixels_; }
+
+  /// One row as a contiguous span.
+  [[nodiscard]] std::span<T> row(std::size_t y) noexcept {
+    return std::span<T>(pixels_).subspan(y * width_, width_);
+  }
+  [[nodiscard]] std::span<const T> row(std::size_t y) const noexcept {
+    return std::span<const T>(pixels_).subspan(y * width_, width_);
+  }
+
+  /// Copies the rectangle [x0, x0+w) x [y0, y0+h) into a new image.
+  /// \throws std::out_of_range if the rectangle exceeds the bounds.
+  [[nodiscard]] Image crop(std::size_t x0, std::size_t y0, std::size_t w,
+                           std::size_t h) const {
+    if (x0 + w > width_ || y0 + h > height_) {
+      throw std::out_of_range("Image::crop: rectangle out of bounds");
+    }
+    Image out(w, h);
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) out(x, y) = (*this)(x0 + x, y0 + y);
+    }
+    return out;
+  }
+
+  /// Pastes \p tile with its top-left corner at (x0, y0).
+  /// \throws std::out_of_range if the tile exceeds the bounds.
+  void paste(const Image& tile, std::size_t x0, std::size_t y0) {
+    if (x0 + tile.width() > width_ || y0 + tile.height() > height_) {
+      throw std::out_of_range("Image::paste: tile out of bounds");
+    }
+    for (std::size_t y = 0; y < tile.height(); ++y) {
+      for (std::size_t x = 0; x < tile.width(); ++x) {
+        (*this)(x0 + x, y0 + y) = tile(x, y);
+      }
+    }
+  }
+
+  friend bool operator==(const Image&, const Image&) = default;
+
+ private:
+  void check(std::size_t x, std::size_t y) const {
+    if (x >= width_ || y >= height_) {
+      throw std::out_of_range("Image: index out of range");
+    }
+  }
+
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<T> pixels_;
+};
+
+/// Row-major 3-D volume: plane-major, i.e. plane z is a contiguous
+/// width x height raster.
+template <typename T>
+class Cube {
+ public:
+  Cube() = default;
+
+  Cube(std::size_t width, std::size_t height, std::size_t depth, T fill = T{})
+      : width_(width),
+        height_(height),
+        depth_(depth),
+        voxels_(width * height * depth, fill) {}
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t size() const noexcept { return voxels_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return voxels_.empty(); }
+
+  [[nodiscard]] T& operator()(std::size_t x, std::size_t y,
+                              std::size_t z) noexcept {
+    return voxels_[(z * height_ + y) * width_ + x];
+  }
+  [[nodiscard]] const T& operator()(std::size_t x, std::size_t y,
+                                    std::size_t z) const noexcept {
+    return voxels_[(z * height_ + y) * width_ + x];
+  }
+
+  /// Bounds-checked access. \throws std::out_of_range.
+  [[nodiscard]] T& at(std::size_t x, std::size_t y, std::size_t z) {
+    check(x, y, z);
+    return (*this)(x, y, z);
+  }
+  [[nodiscard]] const T& at(std::size_t x, std::size_t y, std::size_t z) const {
+    check(x, y, z);
+    return (*this)(x, y, z);
+  }
+
+  [[nodiscard]] std::span<T> voxels() noexcept { return voxels_; }
+  [[nodiscard]] std::span<const T> voxels() const noexcept { return voxels_; }
+
+  /// Plane z as a contiguous span (a width x height raster).
+  [[nodiscard]] std::span<T> plane(std::size_t z) noexcept {
+    return std::span<T>(voxels_).subspan(z * width_ * height_,
+                                         width_ * height_);
+  }
+  [[nodiscard]] std::span<const T> plane(std::size_t z) const noexcept {
+    return std::span<const T>(voxels_).subspan(z * width_ * height_,
+                                               width_ * height_);
+  }
+
+  /// Copies plane z into an Image.
+  [[nodiscard]] Image<T> plane_image(std::size_t z) const {
+    auto src = plane(z);
+    return Image<T>(width_, height_, std::vector<T>(src.begin(), src.end()));
+  }
+
+  /// Overwrites plane z from an equally sized image.
+  /// \throws std::invalid_argument on a size mismatch.
+  void set_plane(std::size_t z, const Image<T>& img) {
+    if (img.width() != width_ || img.height() != height_) {
+      throw std::invalid_argument("Cube::set_plane: size mismatch");
+    }
+    auto dst = plane(z);
+    auto src = img.pixels();
+    for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src[i];
+  }
+
+  friend bool operator==(const Cube&, const Cube&) = default;
+
+ private:
+  void check(std::size_t x, std::size_t y, std::size_t z) const {
+    if (x >= width_ || y >= height_ || z >= depth_) {
+      throw std::out_of_range("Cube: index out of range");
+    }
+  }
+
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::size_t depth_ = 0;
+  std::vector<T> voxels_;
+};
+
+/// A temporal stack of N equally sized images (the NGST baseline unit:
+/// N readouts of the same detector coordinates).  Thin wrapper over Cube
+/// with the time axis as depth, offering per-coordinate time series access.
+template <typename T>
+class TemporalStack {
+ public:
+  TemporalStack() = default;
+
+  TemporalStack(std::size_t width, std::size_t height, std::size_t frames)
+      : cube_(width, height, frames) {}
+
+  [[nodiscard]] std::size_t width() const noexcept { return cube_.width(); }
+  [[nodiscard]] std::size_t height() const noexcept { return cube_.height(); }
+  [[nodiscard]] std::size_t frames() const noexcept { return cube_.depth(); }
+
+  [[nodiscard]] T& operator()(std::size_t x, std::size_t y,
+                              std::size_t t) noexcept {
+    return cube_(x, y, t);
+  }
+  [[nodiscard]] const T& operator()(std::size_t x, std::size_t y,
+                                    std::size_t t) const noexcept {
+    return cube_(x, y, t);
+  }
+
+  [[nodiscard]] Cube<T>& cube() noexcept { return cube_; }
+  [[nodiscard]] const Cube<T>& cube() const noexcept { return cube_; }
+
+  /// Extracts the time series of coordinate (x, y) as a vector of length
+  /// frames().
+  [[nodiscard]] std::vector<T> series(std::size_t x, std::size_t y) const {
+    std::vector<T> out(frames());
+    for (std::size_t t = 0; t < frames(); ++t) out[t] = cube_(x, y, t);
+    return out;
+  }
+
+  /// Writes a time series back to coordinate (x, y).
+  /// \throws std::invalid_argument if the series length != frames().
+  void set_series(std::size_t x, std::size_t y, std::span<const T> values) {
+    if (values.size() != frames()) {
+      throw std::invalid_argument("TemporalStack::set_series: length mismatch");
+    }
+    for (std::size_t t = 0; t < frames(); ++t) cube_(x, y, t) = values[t];
+  }
+
+  friend bool operator==(const TemporalStack&, const TemporalStack&) = default;
+
+ private:
+  Cube<T> cube_;
+};
+
+}  // namespace spacefts::common

@@ -1,0 +1,178 @@
+#include "spacefts/core/algo_ngst.hpp"
+
+#include <bit>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/core/sensitivity.hpp"
+#include "spacefts/core/voter_matrix.hpp"
+
+namespace spacefts::core {
+
+AlgoNgst::AlgoNgst(AlgoNgstConfig config) : config_(config) {
+  if (config_.upsilon == 0 || config_.upsilon % 2 != 0) {
+    throw std::invalid_argument("AlgoNgst: upsilon must be even and > 0");
+  }
+  if (!is_valid_sensitivity(config_.lambda)) {
+    throw std::invalid_argument("AlgoNgst: lambda outside [0, 100]");
+  }
+}
+
+namespace {
+
+/// Collects pixel i's surviving voters into \p out (cleared first).
+/// Out-of-range pairings contribute nothing; pruned pairings contribute a
+/// zero, which actively votes against every bit flip.
+void gather_voters(const VoterMatrix<std::uint16_t>& m, std::size_t i,
+                   std::size_t n, std::vector<std::uint16_t>& out) {
+  out.clear();
+  for (std::size_t w = 0; w < m.ways.size(); ++w) {
+    const std::size_t d = m.ways[w].distance;
+    if (i + d < n) out.push_back(m.voter(w, i));      // forward partner i+d
+    if (i >= d) out.push_back(m.voter(w, i - d));     // backward partner i-d
+  }
+}
+
+/// Bit-serial equivalent of correction_vector(): walks bit positions from
+/// the window-C boundary upward, tallying votes per bit.  Identical output;
+/// cost proportional to the number of active bit positions, which is how
+/// the paper's implementation scales with Λ.
+[[nodiscard]] std::uint16_t correction_vector_bitserial(
+    std::span<const std::uint16_t> voters, std::uint16_t lsb_mask,
+    std::uint16_t msb_mask) {
+  if (voters.size() < 2 || lsb_mask == 0) return 0;
+  const unsigned first_bit =
+      static_cast<unsigned>(std::countr_zero(lsb_mask));
+  std::uint16_t corr = 0;
+  for (unsigned bit = first_bit; bit < 16; ++bit) {
+    const std::uint16_t probe = static_cast<std::uint16_t>(1u << bit);
+    std::size_t assenting = 0;
+    for (std::uint16_t v : voters) {
+      if (v & probe) ++assenting;
+    }
+    const bool unanimous = assenting == voters.size();
+    const bool near_unanimous =
+        voters.size() >= 3 && assenting + 1 >= voters.size();
+    const bool in_window_a = (msb_mask & probe) != 0;
+    if (unanimous || (near_unanimous && in_window_a)) {
+      corr = static_cast<std::uint16_t>(corr | probe);
+    }
+  }
+  return corr;
+}
+
+/// Carry-propagation plausibility gate (§3.1 considers window boundaries
+/// "after taking carry propagation effects into consideration"): two values
+/// a small arithmetic step apart can differ in a long run of bits when the
+/// step crosses a power-of-two boundary, so XOR unanimity alone
+/// occasionally indicts a clean pixel.  A genuine flip of bit b, however,
+/// displaces the *value* by ~2^b; a carry coincidence does not.  The
+/// correction is accepted only if the pixel deviates from the median of its
+/// consulted neighbours by at least 3/4 of the top corrected bit's weight.
+[[nodiscard]] bool correction_is_plausible(
+    std::span<const std::uint16_t> series, std::size_t i,
+    const VoterMatrix<std::uint16_t>& matrix, std::uint16_t corr) {
+  std::uint16_t partners[8];
+  std::size_t count = 0;
+  const std::size_t n = series.size();
+  for (const auto& way : matrix.ways) {
+    const std::size_t d = way.distance;
+    if (i + d < n) partners[count++] = series[i + d];
+    if (i >= d) partners[count++] = series[i - d];
+  }
+  if (count == 0) return false;
+  // Median by insertion sort; count <= 2 * ways <= 8.
+  for (std::size_t a = 1; a < count; ++a) {
+    const std::uint16_t key = partners[a];
+    std::size_t b = a;
+    while (b > 0 && key < partners[b - 1]) {
+      partners[b] = partners[b - 1];
+      --b;
+    }
+    partners[b] = key;
+  }
+  const std::int32_t med = partners[count / 2];
+  const std::int32_t dev = std::abs(static_cast<std::int32_t>(series[i]) - med);
+  const std::int32_t top_weight = std::int32_t{1}
+                                  << common::msb_index(corr);
+  return 4 * dev >= 3 * top_weight;
+}
+
+}  // namespace
+
+template <bool BitSerial>
+AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series) const {
+  AlgoNgstReport report;
+  report.pixels_examined = series.size();
+  // Λ = 0: header-sanity-only mode, never touches the data (§3.2).
+  if (config_.lambda <= 0.0 || series.size() < 3) return report;
+
+  const VoterMatrix<std::uint16_t> matrix = build_voter_matrix<std::uint16_t>(
+      series, config_.upsilon, config_.lambda, config_.enable_pruning);
+  if (matrix.ways.empty()) return report;
+
+  // Ablation A1: with windows disabled every bit needs unanimity and
+  // nothing is masked off.
+  const std::uint16_t lsb_mask =
+      config_.enable_windows ? matrix.lsb_mask : std::uint16_t{0xFFFF};
+  const std::uint16_t msb_mask =
+      config_.enable_windows ? matrix.msb_mask : std::uint16_t{0};
+  report.lsb_mask = lsb_mask;
+  report.msb_mask = msb_mask;
+
+  const std::size_t n = series.size();
+  std::vector<std::uint16_t> voters;
+  voters.reserve(config_.upsilon);
+  for (std::size_t i = 0; i < n; ++i) {
+    gather_voters(matrix, i, n, voters);
+    std::uint16_t corr;
+    if constexpr (BitSerial) {
+      corr = correction_vector_bitserial(voters, lsb_mask, msb_mask);
+    } else {
+      corr = correction_vector<std::uint16_t>(voters, lsb_mask, msb_mask);
+    }
+    if (corr != 0 && (!config_.enable_plausibility_gate ||
+                      correction_is_plausible(series, i, matrix, corr))) {
+      series[i] = static_cast<std::uint16_t>(series[i] ^ corr);
+      ++report.pixels_corrected;
+      report.bits_corrected += static_cast<std::size_t>(std::popcount(corr));
+    }
+  }
+  return report;
+}
+
+AlgoNgstReport AlgoNgst::preprocess(std::span<std::uint16_t> series) const {
+  return run<false>(series);
+}
+
+AlgoNgstReport AlgoNgst::preprocess_bitserial(
+    std::span<std::uint16_t> series) const {
+  return run<true>(series);
+}
+
+AlgoNgstReport AlgoNgst::preprocess(
+    common::TemporalStack<std::uint16_t>& stack) const {
+  AlgoNgstReport total;
+  std::vector<std::uint16_t> series(stack.frames());
+  for (std::size_t y = 0; y < stack.height(); ++y) {
+    for (std::size_t x = 0; x < stack.width(); ++x) {
+      for (std::size_t t = 0; t < stack.frames(); ++t) {
+        series[t] = stack(x, y, t);
+      }
+      const AlgoNgstReport r = preprocess(series);
+      for (std::size_t t = 0; t < stack.frames(); ++t) {
+        stack(x, y, t) = series[t];
+      }
+      total.pixels_examined += r.pixels_examined;
+      total.pixels_corrected += r.pixels_corrected;
+      total.bits_corrected += r.bits_corrected;
+      total.lsb_mask = r.lsb_mask;
+      total.msb_mask = r.msb_mask;
+    }
+  }
+  return total;
+}
+
+}  // namespace spacefts::core

@@ -1,0 +1,427 @@
+#include "spacefts/core/algo_otis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/stats.hpp"
+#include "spacefts/core/sensitivity.hpp"
+#include "spacefts/core/voter_matrix.hpp"
+
+namespace spacefts::core {
+
+AlgoOtis::AlgoOtis(AlgoOtisConfig config) : config_(std::move(config)) {
+  if (config_.upsilon == 0 || config_.upsilon % 2 != 0) {
+    throw std::invalid_argument("AlgoOtis: upsilon must be even and > 0");
+  }
+  if (!is_valid_sensitivity(config_.lambda)) {
+    throw std::invalid_argument("AlgoOtis: lambda outside [0, 100]");
+  }
+}
+
+namespace {
+
+/// Pixel classification for one plane pass.
+enum class PixelState : std::uint8_t {
+  kClean = 0,      ///< conforming; acts as a voter
+  kProtected,      ///< natural trend (hypothesis 1); never touched
+  kCandidate,      ///< fault candidate; to be repaired
+};
+
+/// Median of the finite 3x3 neighbourhood (excluding nothing); NaN if none.
+[[nodiscard]] float local_median(const common::Image<float>& img,
+                                 std::size_t x, std::size_t y) {
+  float window[9];
+  std::size_t count = 0;
+  for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+    for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
+      const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
+      if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(img.width()) ||
+          ny >= static_cast<std::ptrdiff_t>(img.height())) {
+        continue;
+      }
+      const float v = img(static_cast<std::size_t>(nx),
+                          static_cast<std::size_t>(ny));
+      if (std::isfinite(v)) window[count++] = v;
+    }
+  }
+  if (count == 0) return std::numeric_limits<float>::quiet_NaN();
+  // Insertion sort: count <= 8, and std::sort trips a GCC-12 array-bounds
+  // false positive on small stack arrays.
+  for (std::size_t i = 1; i < count; ++i) {
+    const float key = window[i];
+    std::size_t j = i;
+    while (j > 0 && key < window[j - 1]) {
+      window[j] = window[j - 1];
+      --j;
+    }
+    window[j] = key;
+  }
+  return window[count / 2];
+}
+
+/// One spatial pairing axis at one distance.
+struct SpatialWay {
+  std::ptrdiff_t dx = 0;
+  std::ptrdiff_t dy = 0;
+  std::uint32_t v_val = 0;  ///< pruning threshold (power of two)
+};
+
+}  // namespace
+
+AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
+                                          double wavelength_um) const {
+  AlgoOtisReport report;
+  report.pixels_examined = plane.size();
+  if (config_.lambda <= 0.0 || plane.width() < 3 || plane.height() < 3) {
+    return report;
+  }
+  const std::size_t w = plane.width();
+  const std::size_t h = plane.height();
+  const otis::RadianceInterval interval =
+      config_.bounds.radiance_interval(wavelength_um);
+
+  // ---- Phase 1: classification ---------------------------------------------
+  common::Image<std::uint8_t> state(w, h,
+                                    static_cast<std::uint8_t>(PixelState::kClean));
+  common::Image<float> medians(w, h, 0.0f);
+  common::Image<float> residuals(w, h, 0.0f);
+  std::vector<double> abs_residuals;
+  abs_residuals.reserve(w * h);
+
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const float v = plane(x, y);
+      const bool in_bounds =
+          std::isfinite(v) && (!config_.enable_bounds ||
+                               interval.contains(static_cast<double>(v)));
+      const float m = local_median(plane, x, y);
+      medians(x, y) = m;
+      if (!in_bounds) {
+        // Hypothesis (2): theoretically impossible values are faults.
+        state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
+        ++report.out_of_bounds;
+        residuals(x, y) = std::numeric_limits<float>::quiet_NaN();
+        continue;
+      }
+      const float r = std::isfinite(m) ? v - m : 0.0f;
+      residuals(x, y) = r;
+      abs_residuals.push_back(std::abs(static_cast<double>(r)));
+    }
+  }
+
+  // Robust scale of the conforming residuals.  The 30th percentile of |r|
+  // stays uncontaminated even when well over half the pixels carry faults
+  // (the classic MAD breaks at 50%); for Gaussian residuals
+  // P30(|r|) = 0.385 σ, so scale back to a σ estimate.
+  double sigma_est = 0.0;
+  if (!abs_residuals.empty()) {
+    const auto rank = static_cast<std::size_t>(
+        0.3 * static_cast<double>(abs_residuals.size()));
+    sigma_est = common::kth_smallest(
+                    abs_residuals,
+                    std::min(rank, abs_residuals.size() - 1)) /
+                0.385;
+  }
+  const double factor =
+      config_.outlier_base_factor * (1.0 + (100.0 - config_.lambda) / 50.0);
+  // Floor the threshold to keep pure float rounding noise from qualifying.
+  const double tau = std::max(factor * sigma_est, 1e-12);
+
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (state(x, y) != static_cast<std::uint8_t>(PixelState::kClean)) continue;
+      const float r = residuals(x, y);
+      if (std::abs(static_cast<double>(r)) <= tau) continue;
+      ++report.outliers;
+      // Hypothesis (1): a trend in the neighbourhood is natural.  An ally is
+      // a neighbour whose *value* deviates from this pixel's local median in
+      // the same direction by a comparable amount — this also protects the
+      // rim of a plateau anomaly (geyser, eruption front), whose interior
+      // neighbours are not residual-outliers themselves (their own local
+      // medians are already hot) but visibly share the deviation.
+      if (config_.enable_trend_test) {
+        const float m = medians(x, y);
+        std::size_t allies = 0;
+        for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+          for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0) continue;
+            const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
+            const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+                ny >= static_cast<std::ptrdiff_t>(h)) {
+              continue;
+            }
+            const float nv = plane(static_cast<std::size_t>(nx),
+                                   static_cast<std::size_t>(ny));
+            if (!std::isfinite(nv) || !std::isfinite(m)) continue;
+            const double ndev = static_cast<double>(nv) - static_cast<double>(m);
+            // An ally shares the deviation's direction AND magnitude: a
+            // physical trend is spatially coherent, while coincidentally
+            // corrupted neighbours deviate by unrelated (bit-weight) amounts.
+            const double rmag = std::abs(static_cast<double>(r));
+            if (std::abs(ndev) >= 0.5 * rmag && std::abs(ndev) <= 2.5 * rmag &&
+                std::signbit(static_cast<float>(ndev)) == std::signbit(r)) {
+              ++allies;
+            }
+          }
+        }
+        if (allies >= config_.trend_neighbors) {
+          state(x, y) = static_cast<std::uint8_t>(PixelState::kProtected);
+          ++report.trend_protected;
+          continue;
+        }
+      }
+      state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
+    }
+  }
+
+  // ---- Phase 2: dynamic bit-level thresholds from clean pairs ---------------
+  // Ways alternate horizontal/vertical at growing distance: Υ=4 consults the
+  // unit cross, Υ=8 adds the distance-2 cross [R5].
+  std::vector<SpatialWay> ways;
+  for (std::size_t k = 1; k <= config_.upsilon / 2; ++k) {
+    const auto dist = static_cast<std::ptrdiff_t>((k + 1) / 2);
+    if (k % 2 == 1) {
+      ways.push_back(SpatialWay{dist, 0, 0});
+    } else {
+      ways.push_back(SpatialWay{0, dist, 0});
+    }
+  }
+  const auto is_clean = [&](std::ptrdiff_t x, std::ptrdiff_t y) {
+    return x >= 0 && y >= 0 && x < static_cast<std::ptrdiff_t>(w) &&
+           y < static_cast<std::ptrdiff_t>(h) &&
+           state(static_cast<std::size_t>(x), static_cast<std::size_t>(y)) ==
+               static_cast<std::uint8_t>(PixelState::kClean);
+  };
+  std::uint32_t min_vval = 0xFFFFFFFFu;
+  std::uint32_t max_vval = 0;
+  bool have_thresholds = true;
+  {
+    std::vector<std::uint32_t> xors;
+    for (auto& way : ways) {
+      xors.clear();
+      for (std::size_t y = 0; y < h; ++y) {
+        for (std::size_t x = 0; x < w; ++x) {
+          const auto nx = static_cast<std::ptrdiff_t>(x) + way.dx;
+          const auto ny = static_cast<std::ptrdiff_t>(y) + way.dy;
+          if (!is_clean(static_cast<std::ptrdiff_t>(x),
+                        static_cast<std::ptrdiff_t>(y)) ||
+              !is_clean(nx, ny)) {
+            continue;
+          }
+          xors.push_back(common::float_to_bits(plane(x, y)) ^
+                         common::float_to_bits(
+                             plane(static_cast<std::size_t>(nx),
+                                   static_cast<std::size_t>(ny))));
+        }
+      }
+      if (xors.size() < 8) {
+        have_thresholds = false;
+        break;
+      }
+      const std::size_t rank = prune_rank(xors.size(), config_.lambda);
+      std::nth_element(xors.begin(),
+                       xors.begin() + static_cast<std::ptrdiff_t>(rank),
+                       xors.end());
+      const std::uint32_t q = xors[rank];
+      way.v_val = q == 0 ? 0u : common::ceil_pow2(q);
+      min_vval = std::min(min_vval, way.v_val);
+      max_vval = std::max(max_vval, way.v_val);
+    }
+  }
+  const auto mask_from = [](std::uint32_t v) -> std::uint32_t {
+    return v <= 1 ? 0xFFFFFFFFu : ~(v - 1);
+  };
+  const std::uint32_t lsb_mask = have_thresholds ? mask_from(min_vval) : 0;
+  const std::uint32_t msb_mask = have_thresholds ? mask_from(max_vval) : 0;
+
+  // ---- Phase 3: vote over every unprotected pixel ---------------------------
+  // As in Algorithm 1, every pixel is examined; pruning makes the vote a
+  // no-op on conforming pixels, so clean data is not blurred the way a
+  // blanket median/majority filter blurs it.  Declared candidates that the
+  // bit vote cannot rehabilitate fall back to the neighbourhood median.
+  std::vector<std::uint32_t> voters;
+  voters.reserve(config_.upsilon);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      if (state(x, y) == static_cast<std::uint8_t>(PixelState::kProtected)) {
+        continue;
+      }
+      const bool candidate =
+          state(x, y) == static_cast<std::uint8_t>(PixelState::kCandidate);
+      const float original = plane(x, y);
+      const float fallback = medians(x, y);
+
+      if (have_thresholds) {
+        voters.clear();
+        const std::uint32_t self = common::float_to_bits(original);
+        for (const auto& way : ways) {
+          for (int sign : {+1, -1}) {
+            const auto nx = static_cast<std::ptrdiff_t>(x) + sign * way.dx;
+            const auto ny = static_cast<std::ptrdiff_t>(y) + sign * way.dy;
+            if (!is_clean(nx, ny)) continue;
+            const std::uint32_t xr =
+                self ^ common::float_to_bits(
+                           plane(static_cast<std::size_t>(nx),
+                                 static_cast<std::size_t>(ny)));
+            voters.push_back(xr > way.v_val ? xr : 0u);
+          }
+        }
+        const std::uint32_t corr =
+            correction_vector<std::uint32_t>(voters, lsb_mask, msb_mask);
+        if (corr != 0) {
+          const float cand = common::bits_to_float(self ^ corr);
+          // Carry-analogue plausibility: accept a bit repair only if it is
+          // physical and moves the pixel *toward* its neighbourhood, never
+          // away (protects against coincidental vote agreement).
+          const bool physical =
+              std::isfinite(cand) &&
+              (!config_.enable_bounds ||
+               interval.contains(static_cast<double>(cand)));
+          const bool converges =
+              std::isfinite(fallback) &&
+              (!std::isfinite(original) ||
+               std::abs(static_cast<double>(cand) -
+                        static_cast<double>(fallback)) <
+                   std::abs(static_cast<double>(original) -
+                            static_cast<double>(fallback)));
+          if (physical && converges) {
+            plane(x, y) = cand;
+            ++report.bit_corrected;
+          }
+        }
+      }
+
+      // Declared candidates must end up conforming; if the bit vote did not
+      // achieve that, the neighbourhood median does.
+      if (candidate && std::isfinite(fallback)) {
+        const float now = plane(x, y);
+        const bool conforming =
+            std::isfinite(now) &&
+            (!config_.enable_bounds ||
+             interval.contains(static_cast<double>(now))) &&
+            std::abs(static_cast<double>(now) -
+                     static_cast<double>(fallback)) <= 2.0 * tau;
+        if (!conforming) {
+          plane(x, y) = fallback;
+          ++report.median_replaced;
+        }
+      }
+      // No finite neighbour at all: leave the pixel as-is.
+    }
+  }
+  return report;
+}
+
+AlgoOtisReport AlgoOtis::preprocess_spectral(
+    common::Cube<float>& cube, std::span<const double> wavelengths_um) const {
+  if (wavelengths_um.size() != cube.depth()) {
+    throw std::invalid_argument("AlgoOtis: wavelengths/bands mismatch");
+  }
+  AlgoOtisReport report;
+  report.pixels_examined = cube.size();
+  const std::size_t bands = cube.depth();
+  if (config_.lambda <= 0.0 || bands < 3) return report;
+
+  // Per-band physical envelopes for hypothesis (2).
+  std::vector<otis::RadianceInterval> intervals;
+  intervals.reserve(bands);
+  for (double wl : wavelengths_um) {
+    intervals.push_back(config_.bounds.radiance_interval(wl));
+  }
+
+  std::vector<std::uint32_t> series(bands);
+  std::vector<std::uint32_t> voters;
+  voters.reserve(config_.upsilon);
+  for (std::size_t y = 0; y < cube.height(); ++y) {
+    for (std::size_t x = 0; x < cube.width(); ++x) {
+      for (std::size_t b = 0; b < bands; ++b) {
+        series[b] = common::float_to_bits(cube(x, y, b));
+      }
+      // Dynamic per-pixel thresholds along the wavelength axis.  The
+      // Planck slope between bands is natural variation, so the spectral
+      // matrix's thresholds end up wide — the §7.1 effect.
+      const auto matrix = build_voter_matrix<std::uint32_t>(
+          series, config_.upsilon, config_.lambda, true);
+      if (matrix.ways.empty()) continue;
+      for (std::size_t b = 0; b < bands; ++b) {
+        voters.clear();
+        for (std::size_t w = 0; w < matrix.ways.size(); ++w) {
+          const std::size_t d = matrix.ways[w].distance;
+          if (b + d < bands) voters.push_back(matrix.voter(w, b));
+          if (b >= d) voters.push_back(matrix.voter(w, b - d));
+        }
+        const std::uint32_t corr = correction_vector<std::uint32_t>(
+            voters, matrix.lsb_mask, matrix.msb_mask);
+        const float original = cube(x, y, b);
+        const bool oob = config_.enable_bounds &&
+                         (!std::isfinite(original) ||
+                          !intervals[b].contains(static_cast<double>(original)));
+        if (oob) ++report.out_of_bounds;
+        if (corr != 0) {
+          const float cand = common::bits_to_float(series[b] ^ corr);
+          const bool physical =
+              std::isfinite(cand) &&
+              (!config_.enable_bounds ||
+               intervals[b].contains(static_cast<double>(cand)));
+          if (physical) {
+            cube(x, y, b) = cand;
+            ++report.bit_corrected;
+            continue;
+          }
+        }
+        // Unrehabilitated out-of-bounds band: interpolate its neighbours.
+        if (oob) {
+          const float lo = b > 0 ? cube(x, y, b - 1)
+                                 : std::numeric_limits<float>::quiet_NaN();
+          const float hi = b + 1 < bands
+                               ? cube(x, y, b + 1)
+                               : std::numeric_limits<float>::quiet_NaN();
+          float fallback;
+          if (std::isfinite(lo) && std::isfinite(hi)) {
+            fallback = 0.5f * (lo + hi);
+          } else if (std::isfinite(lo)) {
+            fallback = lo;
+          } else {
+            fallback = hi;
+          }
+          if (std::isfinite(fallback) &&
+              intervals[b].contains(static_cast<double>(fallback))) {
+            cube(x, y, b) = fallback;
+            ++report.median_replaced;
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+AlgoOtisReport AlgoOtis::preprocess(
+    common::Cube<float>& cube, std::span<const double> wavelengths_um) const {
+  if (wavelengths_um.size() != cube.depth()) {
+    throw std::invalid_argument("AlgoOtis: wavelengths/bands mismatch");
+  }
+  AlgoOtisReport total;
+  for (std::size_t b = 0; b < cube.depth(); ++b) {
+    auto img = cube.plane_image(b);
+    const AlgoOtisReport r = preprocess_plane(img, wavelengths_um[b]);
+    cube.set_plane(b, img);
+    total.pixels_examined += r.pixels_examined;
+    total.out_of_bounds += r.out_of_bounds;
+    total.outliers += r.outliers;
+    total.trend_protected += r.trend_protected;
+    total.bit_corrected += r.bit_corrected;
+    total.median_replaced += r.median_replaced;
+  }
+  return total;
+}
+
+}  // namespace spacefts::core

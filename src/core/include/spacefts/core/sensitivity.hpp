@@ -1,0 +1,42 @@
+/// \file sensitivity.hpp
+/// The sensitivity parameter Λ (§3.2) and its mapping to the voter-matrix
+/// pruning rank Φ.
+///
+/// Λ ∈ [0, 100] scales the whole scheme: Λ = 0 performs only the FITS
+/// header sanity analysis (no data preprocessing at all); increasing Λ
+/// lowers the pruning threshold so more XOR results survive as voters,
+/// widening window B — more corrections, more false alarms, more compute.
+///
+/// Algorithm 1 computes, for a voter set of N/2 elements,
+///     Φ = floor( N/4 + ((80 − Λ)/100) · (N/4 − 1) ),
+/// and thresholds each way at the Φ-th smallest element.  [R2] The paper
+/// prints "Φ-th greatest", but §3.3 requires that higher sensitivity yield
+/// *more* voters, which forces the ascending-order reading (Λ↑ ⇒ Φ↓ ⇒
+/// threshold↓ ⇒ fewer XOR results discarded).  Normalising by the set size
+/// gives the rank fraction
+///     f(Λ) = 1/2 + (80 − Λ)/200          (f(0)=0.9, f(80)=0.5, f(100)=0.4)
+/// which this library applies to voter sets of any size M (the paper's sets
+/// all have M = N/2; ours have M = N − d for pairing distance d).
+#pragma once
+
+#include <cstddef>
+
+namespace spacefts::core {
+
+/// Smallest/largest legal sensitivity.
+inline constexpr double kMinSensitivity = 0.0;
+inline constexpr double kMaxSensitivity = 100.0;
+
+/// True if Λ is in [0, 100].
+[[nodiscard]] bool is_valid_sensitivity(double lambda) noexcept;
+
+/// The rank fraction f(Λ) above, clamped to [0, 1].
+/// \throws std::invalid_argument for Λ outside [0, 100].
+[[nodiscard]] double prune_fraction(double lambda);
+
+/// The pruning rank (0-based index into the ascending-sorted voter set of
+/// size \p set_size): floor(f(Λ) · M), clamped to M − 1.
+/// \throws std::invalid_argument for Λ outside [0, 100] or set_size == 0.
+[[nodiscard]] std::size_t prune_rank(std::size_t set_size, double lambda);
+
+}  // namespace spacefts::core

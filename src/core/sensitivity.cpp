@@ -1,0 +1,29 @@
+#include "spacefts/core/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace spacefts::core {
+
+bool is_valid_sensitivity(double lambda) noexcept {
+  return lambda >= kMinSensitivity && lambda <= kMaxSensitivity &&
+         !std::isnan(lambda);
+}
+
+double prune_fraction(double lambda) {
+  if (!is_valid_sensitivity(lambda)) {
+    throw std::invalid_argument("prune_fraction: lambda outside [0, 100]");
+  }
+  return std::clamp(0.5 + (80.0 - lambda) / 200.0, 0.0, 1.0);
+}
+
+std::size_t prune_rank(std::size_t set_size, double lambda) {
+  if (set_size == 0) throw std::invalid_argument("prune_rank: empty set");
+  const double f = prune_fraction(lambda);
+  const auto rank = static_cast<std::size_t>(
+      std::floor(f * static_cast<double>(set_size)));
+  return std::min(rank, set_size - 1);
+}
+
+}  // namespace spacefts::core

@@ -1,0 +1,76 @@
+/// \file sim.hpp
+/// A small deterministic discrete-event simulator.
+///
+/// The CR-rejection system onboard the NGST is "a real time distributed
+/// system … a 16-processor workstation interconnected with a high speed
+/// network such as the Myrinet" (§2.1).  The experiments do not need cycle
+/// accuracy — they need the *fragmentation / scatter / compute / gather*
+/// code paths exercised under a consistent notion of time — so nodes are
+/// simulated processes and message passing is a latency + bandwidth link
+/// model.  Event order is fully deterministic: ties in time break by
+/// schedule order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace spacefts::dist {
+
+/// Event-driven virtual clock.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules \p action at absolute simulated time \p at (seconds).
+  /// Scheduling into the past (before now()) throws std::invalid_argument.
+  void schedule(double at, Action action);
+
+  /// Schedules \p action \p delay seconds after now().
+  void schedule_after(double delay, Action action) {
+    schedule(now() + delay, std::move(action));
+  }
+
+  /// Runs until the event queue drains. Returns the final time.
+  double run();
+
+  /// Current simulated time (seconds).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Number of events executed so far.
+  [[nodiscard]] std::size_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Event {
+    double at;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+};
+
+/// Point-to-point link: latency plus serialisation delay.
+struct LinkModel {
+  double latency_s = 50e-6;          ///< per-message latency (Myrinet-class)
+  double bandwidth_bps = 1.28e9;     ///< bits per second
+
+  /// Time to move \p bytes across the link.
+  [[nodiscard]] double transfer_time(std::size_t bytes) const noexcept {
+    return latency_s + static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+}  // namespace spacefts::dist

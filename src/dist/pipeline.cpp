@@ -1,0 +1,227 @@
+#include "spacefts/dist/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spacefts/fault/models.hpp"
+#include "spacefts/rice/rice.hpp"
+#include "spacefts/smoothing/temporal.hpp"
+
+namespace spacefts::dist {
+
+const char* to_string(PreprocessMode mode) noexcept {
+  switch (mode) {
+    case PreprocessMode::kNone:
+      return "none";
+    case PreprocessMode::kAlgoNgst:
+      return "Algo_NGST";
+    case PreprocessMode::kMedian3:
+      return "median-3";
+    case PreprocessMode::kBitVote3:
+      return "bitvote-3";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One fragment's readout stack, cut out of the full detector stack.
+[[nodiscard]] common::TemporalStack<std::uint16_t> cut_tile(
+    const common::TemporalStack<std::uint16_t>& readouts, std::size_t x0,
+    std::size_t y0, std::size_t side) {
+  common::TemporalStack<std::uint16_t> tile(side, side, readouts.frames());
+  for (std::size_t t = 0; t < readouts.frames(); ++t) {
+    for (std::size_t y = 0; y < side; ++y) {
+      for (std::size_t x = 0; x < side; ++x) {
+        tile(x, y, t) = readouts(x0 + x, y0 + y, t);
+      }
+    }
+  }
+  return tile;
+}
+
+/// The worker-side computation: memory faults -> preprocessing -> CR
+/// rejection.  Returns the integrated tile plus accounting.
+struct WorkerOutput {
+  common::Image<float> flux;
+  std::size_t faults = 0;
+  std::size_t corrected = 0;
+};
+
+[[nodiscard]] WorkerOutput worker_compute(
+    common::TemporalStack<std::uint16_t> tile, const PipelineConfig& config,
+    common::Rng& rng) {
+  WorkerOutput out{common::Image<float>{}, 0, 0};
+  // Bit flips strike the tile while it sits in the worker's data memory.
+  if (config.gamma0 > 0.0) {
+    const fault::UncorrelatedFaultModel model(config.gamma0);
+    auto mask = model.mask16(tile.cube().size(), rng);
+    out.faults = fault::count_faults<std::uint16_t>(mask);
+    fault::apply_mask<std::uint16_t>(tile.cube().voxels(), mask);
+  }
+  // Preprocessing: per-coordinate over the tile's time series.
+  switch (config.preprocess) {
+    case PreprocessMode::kNone:
+      break;
+    case PreprocessMode::kAlgoNgst: {
+      const core::AlgoNgst algo(config.algo);
+      const auto report = algo.preprocess(tile);
+      out.corrected = report.pixels_corrected;
+      break;
+    }
+    case PreprocessMode::kMedian3:
+    case PreprocessMode::kBitVote3: {
+      std::vector<std::uint16_t> series(tile.frames());
+      for (std::size_t y = 0; y < tile.height(); ++y) {
+        for (std::size_t x = 0; x < tile.width(); ++x) {
+          for (std::size_t t = 0; t < tile.frames(); ++t) {
+            series[t] = tile(x, y, t);
+          }
+          if (config.preprocess == PreprocessMode::kMedian3) {
+            smoothing::median_smooth3(series);
+          } else {
+            smoothing::majority_bit_vote3(series);
+          }
+          tile.set_series(x, y, series);
+        }
+      }
+      break;
+    }
+  }
+  out.flux = ngst::reject_and_integrate(tile, config.cr).flux;
+  return out;
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts,
+                            const PipelineConfig& config, common::Rng& rng) {
+  if (config.workers == 0) {
+    throw std::invalid_argument("run_pipeline: no workers");
+  }
+  const std::size_t side = config.fragment_side;
+  if (side == 0 || readouts.width() % side != 0 ||
+      readouts.height() % side != 0) {
+    throw std::invalid_argument("run_pipeline: stack not tileable by fragment");
+  }
+  const std::size_t tiles_x = readouts.width() / side;
+  const std::size_t tiles_y = readouts.height() / side;
+  const std::size_t tile_count = tiles_x * tiles_y;
+  const std::size_t tile_bytes = side * side * readouts.frames() * 2;
+  const std::size_t tile_pixel_frames = side * side * readouts.frames();
+
+  PipelineResult result;
+  result.fragments = tile_count;
+  result.flux = common::Image<float>(readouts.width(), readouts.height(), 0.0f);
+  result.worker_busy_s.assign(config.workers, 0.0);
+
+  Simulator sim;
+  std::vector<double> worker_free_at(config.workers, 0.0);
+  double master_uplink_free_at = 0.0;
+  double gather_done_at = 0.0;
+  std::size_t tiles_done = 0;
+
+  // Separate deterministic streams: one per tile for memory faults (so the
+  // data outcome is identical whether or not crashes occur), one per tile
+  // for crash events.
+  std::vector<common::Rng> tile_rngs;
+  std::vector<common::Rng> crash_rngs;
+  tile_rngs.reserve(tile_count);
+  crash_rngs.reserve(tile_count);
+  for (std::size_t i = 0; i < tile_count; ++i) tile_rngs.push_back(rng.split());
+  for (std::size_t i = 0; i < tile_count; ++i) crash_rngs.push_back(rng.split());
+
+  // A fragment's full dispatch cycle, including crash detection and
+  // reassignment.  Declared as std::function so reassignment can recurse.
+  constexpr std::size_t kMaxAttempts = 16;
+  std::function<void(std::size_t, std::size_t, std::size_t, std::size_t, double)>
+      dispatch = [&](std::size_t tile_index, std::size_t tx, std::size_t ty,
+                     std::size_t attempt, double ready_at) {
+        const std::size_t worker = (tile_index + attempt) % config.workers;
+        const double start = std::max(ready_at, worker_free_at[worker]);
+        const double pre_cost =
+            config.preprocess == PreprocessMode::kNone
+                ? 0.0
+                : config.preprocess_cost_s *
+                      static_cast<double>(tile_pixel_frames);
+        const double compute =
+            pre_cost +
+            config.cr_reject_cost_s * static_cast<double>(tile_pixel_frames);
+
+        // ALFT process-fault model: the worker may die mid-fragment.  The
+        // last attempt is forced to succeed so the baseline always closes
+        // (in the flight system the master would process it locally).
+        const bool crash = attempt + 1 < kMaxAttempts &&
+                           crash_rngs[tile_index].bernoulli(config.worker_crash_prob);
+        if (crash) {
+          const double crash_at = start + 0.5 * compute;
+          worker_free_at[worker] = crash_at;  // reboot completes instantly
+          result.worker_busy_s[worker] += 0.5 * compute;
+          ++result.worker_crashes;
+          const double detect_at =
+              std::max(ready_at + config.crash_timeout_s, crash_at);
+          sim.schedule(detect_at, [&, tile_index, tx, ty, attempt] {
+            ++result.reassignments;
+            dispatch(tile_index, tx, ty, attempt + 1, sim.now());
+          });
+          return;
+        }
+
+        const double done = start + compute;
+        worker_free_at[worker] = done;
+        result.worker_busy_s[worker] += compute;
+
+        // The actual data transformation happens "at" completion time.
+        sim.schedule(done, [&, tile_index, tx, ty] {
+          auto tile = cut_tile(readouts, tx * side, ty * side, side);
+          WorkerOutput out =
+              worker_compute(std::move(tile), config, tile_rngs[tile_index]);
+          result.faults_injected += out.faults;
+          result.pixels_corrected += out.corrected;
+
+          const std::size_t flux_bytes = side * side * 4;
+          const double back_at =
+              sim.now() + config.link.transfer_time(flux_bytes);
+          sim.schedule(back_at, [&, tx, ty, out = std::move(out)] {
+            result.flux.paste(out.flux, tx * side, ty * side);
+            ++tiles_done;
+            if (tiles_done == result.fragments) {
+              gather_done_at = sim.now();
+            }
+          });
+        });
+      };
+
+  for (std::size_t ty = 0; ty < tiles_y; ++ty) {
+    for (std::size_t tx = 0; tx < tiles_x; ++tx) {
+      const std::size_t tile_index = ty * tiles_x + tx;
+
+      // Master serialises its sends over the shared uplink.
+      const double send_start = master_uplink_free_at;
+      const double arrive_at = send_start + config.link.transfer_time(tile_bytes);
+      master_uplink_free_at = arrive_at;
+
+      sim.schedule(arrive_at, [&, tile_index, tx, ty, arrive_at] {
+        dispatch(tile_index, tx, ty, /*attempt=*/0, arrive_at);
+      });
+    }
+  }
+  sim.run();
+
+  // Master-side compression of the quantised product for downlink.
+  std::vector<std::uint16_t> quantised(result.flux.size());
+  for (std::size_t i = 0; i < quantised.size(); ++i) {
+    const double v = static_cast<double>(result.flux.pixels()[i]) * 16.0;
+    quantised[i] = v <= 0     ? std::uint16_t{0}
+                   : v >= 65535.0 ? std::uint16_t{65535}
+                                  : static_cast<std::uint16_t>(std::lround(v));
+  }
+  result.compression_ratio = rice::compression_ratio16(quantised);
+  const double compress_time =
+      config.compress_cost_s * static_cast<double>(quantised.size());
+  result.makespan_s = gather_done_at + compress_time;
+  return result;
+}
+
+}  // namespace spacefts::dist

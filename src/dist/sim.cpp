@@ -1,0 +1,25 @@
+#include "spacefts/dist/sim.hpp"
+
+#include <stdexcept>
+
+namespace spacefts::dist {
+
+void Simulator::schedule(double at, Action action) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule: event in the past");
+  }
+  queue_.push(Event{at, next_seq_++, std::move(action)});
+}
+
+double Simulator::run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.at;
+    ++executed_;
+    event.action();
+  }
+  return now_;
+}
+
+}  // namespace spacefts::dist

@@ -1,0 +1,80 @@
+#include "spacefts/downlink/compressed_hdu.hpp"
+
+#include <vector>
+
+#include "spacefts/rice/bitstream.hpp"
+#include "spacefts/rice/rice.hpp"
+
+namespace spacefts::downlink {
+
+fits::Hdu make_compressed_hdu(const common::Image<std::uint16_t>& image,
+                              bool primary) {
+  std::vector<std::uint16_t> samples(image.pixels().begin(),
+                                     image.pixels().end());
+  auto stream = rice::compress16(samples);
+
+  fits::Hdu hdu;
+  auto& h = hdu.header;
+  if (primary) {
+    h.set_logical("SIMPLE", true, "conforms to FITS standard");
+  } else {
+    h.set_string("XTENSION", "IMAGE", "image extension");
+  }
+  h.set_int("BITPIX", 8, "stored as a byte stream");
+  h.set_int("NAXIS", 1, "one axis: the compressed stream");
+  h.set_int("NAXIS1", static_cast<std::int64_t>(stream.size()),
+            "compressed stream length");
+  if (!primary) {
+    h.set_int("PCOUNT", 0, "no varying arrays");
+    h.set_int("GCOUNT", 1, "one group");
+  }
+  h.set_logical("ZIMAGE", true, "this HDU holds a compressed image");
+  h.set_string("ZCMPTYPE", "RICE_1", "Rice compression");
+  h.set_int("ZBITPIX", 16, "original bits per pixel");
+  h.set_int("ZNAXIS", 2, "original axis count");
+  h.set_int("ZNAXIS1", static_cast<std::int64_t>(image.width()),
+            "original axis 1");
+  h.set_int("ZNAXIS2", static_cast<std::int64_t>(image.height()),
+            "original axis 2");
+  hdu.data = std::move(stream);
+  return hdu;
+}
+
+bool is_compressed_hdu(const fits::Hdu& hdu) {
+  return hdu.header.get_logical("ZIMAGE").value_or(false) &&
+         hdu.header.get_string("ZCMPTYPE").value_or("") == "RICE_1";
+}
+
+common::Image<std::uint16_t> read_compressed_hdu(const fits::Hdu& hdu) {
+  if (!is_compressed_hdu(hdu)) {
+    throw fits::FitsError("read_compressed_hdu: not a RICE_1 compressed HDU");
+  }
+  const auto zbitpix = hdu.header.get_int("ZBITPIX");
+  const auto w = hdu.header.get_int("ZNAXIS1");
+  const auto h = hdu.header.get_int("ZNAXIS2");
+  if (!zbitpix || *zbitpix != 16 || !w || !h || *w <= 0 || *h <= 0) {
+    throw fits::FitsError("read_compressed_hdu: damaged Z-geometry");
+  }
+  const auto width = static_cast<std::size_t>(*w);
+  const auto height = static_cast<std::size_t>(*h);
+  std::vector<std::uint16_t> samples;
+  try {
+    samples = rice::decompress16(hdu.data, width * height);
+  } catch (const rice::BitstreamError& e) {
+    throw fits::FitsError(std::string("read_compressed_hdu: ") + e.what());
+  }
+  return common::Image<std::uint16_t>(width, height, std::move(samples));
+}
+
+double stored_compression_ratio(const fits::Hdu& hdu) {
+  if (!is_compressed_hdu(hdu)) {
+    throw fits::FitsError("stored_compression_ratio: not a compressed HDU");
+  }
+  const auto w = hdu.header.get_int("ZNAXIS1").value_or(0);
+  const auto h = hdu.header.get_int("ZNAXIS2").value_or(0);
+  if (w <= 0 || h <= 0 || hdu.data.empty()) return 0.0;
+  return static_cast<double>(w) * static_cast<double>(h) * 2.0 /
+         static_cast<double>(hdu.data.size());
+}
+
+}  // namespace spacefts::downlink

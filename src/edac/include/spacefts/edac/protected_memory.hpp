@@ -1,0 +1,54 @@
+/// \file protected_memory.hpp
+/// A SEC-DED-protected pixel store: the "radiation-hardened memory"
+/// engineering alternative to input preprocessing.
+///
+/// Pixels are packed four to a 64-bit word, each word carrying an 8-bit
+/// extended-Hamming check byte (12.5% overhead).  Fault injection attacks
+/// the *stored* representation — data words and check bytes alike — and a
+/// scrub pass decodes everything back, correcting single-bit errors per
+/// word and reporting the multi-bit words SEC-DED can only detect.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "spacefts/edac/hamming.hpp"
+
+namespace spacefts::edac {
+
+/// Outcome of a scrub pass.
+struct ScrubReport {
+  std::size_t words = 0;
+  std::size_t corrected = 0;        ///< words repaired (single-bit errors)
+  std::size_t uncorrectable = 0;    ///< words with detected multi-bit damage
+};
+
+/// Encodes, exposes raw storage for fault injection, and scrubs back.
+class ProtectedMemory {
+ public:
+  /// Encodes the pixel buffer (padded with zero pixels to a multiple of 4).
+  explicit ProtectedMemory(std::span<const std::uint16_t> pixels);
+
+  /// Number of stored pixels (before padding).
+  [[nodiscard]] std::size_t size() const noexcept { return pixel_count_; }
+
+  /// Storage overhead of the code, in bytes per stored byte.
+  [[nodiscard]] static constexpr double overhead() noexcept { return 0.125; }
+
+  /// The raw data words — the radiation target.
+  [[nodiscard]] std::span<std::uint64_t> raw_words() noexcept { return words_; }
+  /// The raw check bytes — equally exposed to radiation.
+  [[nodiscard]] std::span<std::uint8_t> raw_checks() noexcept { return checks_; }
+
+  /// Decodes every word (correcting what SEC-DED can), re-encodes the
+  /// repaired content in place, and returns the pixels plus accounting.
+  [[nodiscard]] ScrubReport scrub(std::vector<std::uint16_t>& pixels_out);
+
+ private:
+  std::size_t pixel_count_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint8_t> checks_;
+};
+
+}  // namespace spacefts::edac

@@ -1,0 +1,133 @@
+/// \file fits.hpp
+/// A minimal but standard-conforming subset of FITS (Flexible Image
+/// Transport System, NOST 100-2.0), the container format of NGST inputs
+/// (§2.2.1).
+///
+/// Implemented: 80-character keyword cards, 2880-byte header/data blocks,
+/// a primary HDU plus any number of IMAGE extensions, BITPIX 16 (signed
+/// big-endian with the conventional BZERO=32768 offset for unsigned data)
+/// and BITPIX -32 (IEEE binary32, big-endian).  That is everything the NGST
+/// readout pipeline needs; tables, scaling beyond BZERO/BSCALE and the
+/// random-groups convention are out of scope.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spacefts/common/image.hpp"
+
+namespace spacefts::fits {
+
+/// FITS blocks are always a multiple of this size.
+inline constexpr std::size_t kBlockSize = 2880;
+/// Every header card is exactly this long.
+inline constexpr std::size_t kCardSize = 80;
+
+/// Error thrown on malformed input that cannot be interpreted at all.
+class FitsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One 80-character header card, kept in decoded form.
+struct Card {
+  std::string keyword;  ///< up to 8 chars, uppercase
+  std::string value;    ///< FITS-encoded value field ("16", "T", "'FOO'")
+  std::string comment;  ///< optional comment
+
+  /// Encodes to the fixed 80-character on-disk representation.
+  [[nodiscard]] std::string encode() const;
+
+  /// Decodes one raw card. Never throws: undecodable bytes are preserved
+  /// verbatim in `keyword` so the sanity layer can inspect the damage.
+  [[nodiscard]] static Card decode(std::string_view raw);
+};
+
+/// An ordered FITS header.
+class Header {
+ public:
+  /// Appends or replaces a card by keyword (COMMENT/HISTORY always append).
+  void set(Card card);
+  void set_logical(std::string_view keyword, bool value,
+                   std::string_view comment = "");
+  void set_int(std::string_view keyword, std::int64_t value,
+               std::string_view comment = "");
+  void set_double(std::string_view keyword, double value,
+                  std::string_view comment = "");
+  void set_string(std::string_view keyword, std::string_view value,
+                  std::string_view comment = "");
+
+  /// Typed getters; nullopt when absent or not parseable as the type.
+  [[nodiscard]] std::optional<bool> get_logical(std::string_view keyword) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(
+      std::string_view keyword) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view keyword) const;
+  [[nodiscard]] std::optional<std::string> get_string(
+      std::string_view keyword) const;
+
+  [[nodiscard]] bool contains(std::string_view keyword) const;
+  void erase(std::string_view keyword);
+
+  [[nodiscard]] std::span<const Card> cards() const noexcept { return cards_; }
+  [[nodiscard]] std::span<Card> cards() noexcept { return cards_; }
+
+  /// Serializes to one or more 2880-byte blocks ending with END.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a header starting at \p data[offset]; advances \p offset past
+  /// the END card's block.  \throws FitsError if no END card is found.
+  [[nodiscard]] static Header parse(std::span<const std::uint8_t> data,
+                                    std::size_t& offset);
+
+ private:
+  std::vector<Card> cards_;
+};
+
+/// One header+data unit.
+struct Hdu {
+  Header header;
+  std::vector<std::uint8_t> data;  ///< raw big-endian payload, unpadded
+};
+
+/// An in-memory FITS file: primary HDU plus extensions.
+class FitsFile {
+ public:
+  [[nodiscard]] std::vector<Hdu>& hdus() noexcept { return hdus_; }
+  [[nodiscard]] const std::vector<Hdu>& hdus() const noexcept { return hdus_; }
+
+  /// Serializes the whole file (headers + padded data blocks).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Parses a whole file. \throws FitsError on structural damage that
+  /// prevents even finding the HDUs (the sanity layer exists to handle
+  /// *recoverable* damage before this is called).
+  [[nodiscard]] static FitsFile parse(std::span<const std::uint8_t> bytes);
+
+ private:
+  std::vector<Hdu> hdus_;
+};
+
+/// Builds an HDU holding a 16-bit unsigned image (BITPIX=16, BZERO=32768).
+/// \param primary emit SIMPLE=T (primary HDU) instead of XTENSION='IMAGE'.
+[[nodiscard]] Hdu make_image_hdu(const common::Image<std::uint16_t>& image,
+                                 bool primary = true);
+
+/// Builds an HDU holding a 32-bit float image (BITPIX=-32).
+[[nodiscard]] Hdu make_float_hdu(const common::Image<float>& image,
+                                 bool primary = true);
+
+/// Decodes a BITPIX=16/BZERO=32768 HDU back into an unsigned image.
+/// \throws FitsError if the header does not describe such an image or the
+/// data payload is shorter than NAXIS1*NAXIS2*2 bytes.
+[[nodiscard]] common::Image<std::uint16_t> read_image_u16(const Hdu& hdu);
+
+/// Decodes a BITPIX=-32 HDU back into a float image.
+[[nodiscard]] common::Image<float> read_image_f32(const Hdu& hdu);
+
+}  // namespace spacefts::fits

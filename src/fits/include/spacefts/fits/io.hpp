@@ -1,0 +1,29 @@
+/// \file io.hpp
+/// Filesystem round-trips for FITS containers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spacefts/fits/fits.hpp"
+
+namespace spacefts::fits {
+
+/// Reads a whole file into memory.
+/// \throws FitsError if the file cannot be opened or read.
+[[nodiscard]] std::vector<std::uint8_t> read_bytes(const std::string& path);
+
+/// Writes a byte buffer to a file (truncating).
+/// \throws FitsError if the file cannot be created or written.
+void write_bytes(const std::string& path, std::span<const std::uint8_t> bytes);
+
+/// Convenience: parse a FITS file from disk.
+/// \throws FitsError on I/O or parse failure.
+[[nodiscard]] FitsFile read_file(const std::string& path);
+
+/// Convenience: serialize a FITS file to disk.
+/// \throws FitsError on I/O failure.
+void write_file(const std::string& path, const FitsFile& file);
+
+}  // namespace spacefts::fits

@@ -1,0 +1,70 @@
+/// \file sanity.hpp
+/// The Λ = 0 pass: FITS header sanity analysis and repair.
+///
+/// §2.2.1: "a data-fault caused by a bitflip occurring in the header region
+/// of a FITS file has the potential to cause catastrophic failures.  For
+/// example, if keywords such as NAXIS or BITPIX are misinterpreted at the
+/// node, the dimensions of the data array or the bit resolution of the
+/// pixels may not be known, resulting in corrupting the entire data unit."
+/// §3.2: "At null sensitivity the algorithm does nothing but a simple sanity
+/// analysis of the FITS header."
+///
+/// The checker validates the structural keywords against (a) the FITS
+/// grammar itself (legal BITPIX set, NAXIS range), (b) the geometry the
+/// application expects (NGST nodes know their fragments are 128x128
+/// BITPIX 16), and (c) the actual payload size.  Anything that fails is
+/// reported; where the redundancy pins down the true value, it is repaired
+/// in place.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spacefts/fits/fits.hpp"
+
+namespace spacefts::fits {
+
+/// The geometry an application expects of an incoming HDU (what an NGST
+/// slave node knows a priori about its fragments).  Unset fields are not
+/// enforced.
+struct ImageExpectation {
+  std::optional<std::int64_t> bitpix;
+  std::optional<std::int64_t> width;   ///< NAXIS1
+  std::optional<std::int64_t> height;  ///< NAXIS2
+};
+
+/// One detected problem.
+struct SanityIssue {
+  std::string keyword;      ///< offending keyword
+  std::string description;  ///< human-readable diagnosis
+  bool repaired = false;    ///< true if the checker fixed it in place
+};
+
+/// Outcome of a sanity pass.
+struct SanityReport {
+  std::vector<SanityIssue> issues;
+
+  /// No problems at all.
+  [[nodiscard]] bool clean() const noexcept { return issues.empty(); }
+
+  /// Every detected problem was repaired (vacuously true when clean).
+  [[nodiscard]] bool fully_repaired() const noexcept {
+    for (const auto& issue : issues) {
+      if (!issue.repaired) return false;
+    }
+    return true;
+  }
+};
+
+/// Checks (and where possible repairs) the structural keywords of \p hdu's
+/// header.  \p expected supplies application knowledge; the HDU's own
+/// payload size supplies the third source of redundancy.
+[[nodiscard]] SanityReport check_and_repair(Hdu& hdu,
+                                            const ImageExpectation& expected = {});
+
+/// The legal FITS BITPIX values.
+[[nodiscard]] bool is_legal_bitpix(std::int64_t bitpix) noexcept;
+
+}  // namespace spacefts::fits

@@ -1,0 +1,198 @@
+#include "spacefts/fits/sanity.hpp"
+
+namespace spacefts::fits {
+
+bool is_legal_bitpix(std::int64_t bitpix) noexcept {
+  return bitpix == 8 || bitpix == 16 || bitpix == 32 || bitpix == 64 ||
+         bitpix == -32 || bitpix == -64;
+}
+
+namespace {
+
+void report(SanityReport& r, std::string keyword, std::string description,
+            bool repaired) {
+  r.issues.push_back(
+      SanityIssue{std::move(keyword), std::move(description), repaired});
+}
+
+/// True if the header's implied payload size matches the actual one.
+[[nodiscard]] bool geometry_consistent(const Header& h,
+                                       std::size_t actual_bytes) {
+  const auto bitpix = h.get_int("BITPIX");
+  const auto naxis1 = h.get_int("NAXIS1");
+  const auto naxis2 = h.get_int("NAXIS2");
+  if (!bitpix || !naxis1 || !naxis2 || *naxis1 <= 0 || *naxis2 <= 0) {
+    return false;
+  }
+  const std::int64_t abs_bitpix = *bitpix < 0 ? -*bitpix : *bitpix;
+  const auto implied = static_cast<std::size_t>(*naxis1) *
+                       static_cast<std::size_t>(*naxis2) *
+                       static_cast<std::size_t>(abs_bitpix) / 8;
+  return implied == actual_bytes;
+}
+
+}  // namespace
+
+SanityReport check_and_repair(Hdu& hdu, const ImageExpectation& expected) {
+  SanityReport r;
+  Header& h = hdu.header;
+  const std::size_t actual_bytes = hdu.data.size();
+
+  // --- SIMPLE / XTENSION ----------------------------------------------------
+  const auto simple = h.get_logical("SIMPLE");
+  const auto xtension = h.get_string("XTENSION");
+  if (!simple && !xtension) {
+    // Neither marker decodes: a primary HDU is the only safe assumption.
+    h.set_logical("SIMPLE", true, "repaired by sanity pass");
+    report(r, "SIMPLE", "neither SIMPLE nor XTENSION decodable; assumed primary",
+           true);
+  } else if (simple && !*simple) {
+    // SIMPLE=F declares non-standard FITS, which nothing onboard produces.
+    h.set_logical("SIMPLE", true, "repaired by sanity pass");
+    report(r, "SIMPLE", "SIMPLE=F is not produced by any onboard writer", true);
+  }
+
+  // --- NAXIS ------------------------------------------------------------------
+  auto naxis = h.get_int("NAXIS");
+  if (!naxis || *naxis < 0 || *naxis > 999) {
+    h.set_int("NAXIS", 2, "repaired by sanity pass");
+    report(r, "NAXIS",
+           naxis ? "NAXIS outside the legal range [0, 999]" : "NAXIS missing",
+           true);
+    naxis = 2;
+  }
+
+  // --- BITPIX -----------------------------------------------------------------
+  auto bitpix = h.get_int("BITPIX");
+  const bool bitpix_bad = !bitpix || !is_legal_bitpix(*bitpix);
+  const bool bitpix_unexpected =
+      bitpix && expected.bitpix && *bitpix != *expected.bitpix;
+  if (bitpix_bad || bitpix_unexpected) {
+    if (expected.bitpix) {
+      h.set_int("BITPIX", *expected.bitpix, "repaired by sanity pass");
+      report(r, "BITPIX",
+             bitpix_bad ? "illegal BITPIX value" : "BITPIX contradicts expectation",
+             true);
+      bitpix = expected.bitpix;
+    } else if (bitpix_bad) {
+      // Try to infer from the payload size and plausible axis values.
+      const auto naxis1 = h.get_int("NAXIS1");
+      const auto naxis2 = h.get_int("NAXIS2");
+      bool inferred = false;
+      if (naxis1 && naxis2 && *naxis1 > 0 && *naxis2 > 0) {
+        const auto pixels = static_cast<std::size_t>(*naxis1) *
+                            static_cast<std::size_t>(*naxis2);
+        for (std::int64_t candidate : {8, 16, 32, 64}) {
+          if (pixels * static_cast<std::size_t>(candidate) / 8 == actual_bytes) {
+            // Sign is ambiguous between e.g. 32 and -32; prefer the integer
+            // reading for 8/16/64 and the float reading for 32 (the two
+            // element types this library writes).
+            const std::int64_t repairedv = candidate == 32 ? -32 : candidate;
+            h.set_int("BITPIX", repairedv, "repaired by sanity pass");
+            report(r, "BITPIX", "illegal BITPIX inferred from payload size",
+                   true);
+            bitpix = repairedv;
+            inferred = true;
+            break;
+          }
+        }
+      }
+      if (!inferred) {
+        report(r, "BITPIX", "illegal BITPIX and no redundancy to repair it",
+               false);
+      }
+    }
+  }
+
+  // --- NAXIS1 / NAXIS2 ---------------------------------------------------------
+  const auto check_axis = [&](const char* keyword,
+                              const std::optional<std::int64_t>& expectation) {
+    auto axis = h.get_int(keyword);
+    const bool bad = !axis || *axis <= 0;
+    const bool unexpected = axis && expectation && *axis != *expectation;
+    if (!bad && !unexpected) return;
+    if (expectation) {
+      h.set_int(keyword, *expectation, "repaired by sanity pass");
+      report(r, keyword,
+             bad ? "axis length missing or non-positive"
+                 : "axis length contradicts expectation",
+             true);
+    } else {
+      report(r, keyword, "axis length missing or non-positive", !bad);
+    }
+  };
+  if (*naxis >= 1) check_axis("NAXIS1", expected.width);
+  if (*naxis >= 2) check_axis("NAXIS2", expected.height);
+
+  // --- cross-check against the payload ----------------------------------------
+  // If the HDU was *parsed* under a damaged header, the captured payload can
+  // include up to a block of padding beyond the true data; once the
+  // geometry is trusted (or repaired from expectations), trim it.
+  const auto implied_bytes = [&]() -> std::optional<std::size_t> {
+    const auto bp = h.get_int("BITPIX");
+    const auto n1 = h.get_int("NAXIS1");
+    const auto n2 = h.get_int("NAXIS2");
+    if (!bp || !is_legal_bitpix(*bp) || !n1 || !n2 || *n1 <= 0 || *n2 <= 0) {
+      return std::nullopt;
+    }
+    return static_cast<std::size_t>(*n1) * static_cast<std::size_t>(*n2) *
+           static_cast<std::size_t>(*bp < 0 ? -*bp : *bp) / 8;
+  };
+  if (const auto implied = implied_bytes();
+      implied && *implied < hdu.data.size() &&
+      hdu.data.size() - *implied < kBlockSize &&
+      (expected.width || expected.height || expected.bitpix)) {
+    hdu.data.resize(*implied);
+    report(r, "NAXIS", "data unit trimmed of parse-era padding", true);
+  }
+
+  if (!geometry_consistent(h, hdu.data.size())) {
+    // One more chance: if exactly one axis is damaged and the other two
+    // quantities are trusted, the payload size pins it down.  An axis the
+    // application pinned via expectation is authoritative and never
+    // overridden from the payload.
+    const auto naxis1 = h.get_int("NAXIS1");
+    const auto naxis2 = h.get_int("NAXIS2");
+    bitpix = h.get_int("BITPIX");
+    const std::size_t payload = hdu.data.size();
+    if (bitpix && is_legal_bitpix(*bitpix)) {
+      const auto bytes_per_px =
+          static_cast<std::size_t>(*bitpix < 0 ? -*bitpix : *bitpix) / 8;
+      if (!expected.height && naxis1 && *naxis1 > 0 && bytes_per_px > 0 &&
+          payload % (static_cast<std::size_t>(*naxis1) * bytes_per_px) == 0) {
+        const auto implied_n2 = static_cast<std::int64_t>(
+            payload / (static_cast<std::size_t>(*naxis1) * bytes_per_px));
+        if (!naxis2 || *naxis2 != implied_n2) {
+          h.set_int("NAXIS2", implied_n2, "repaired by sanity pass");
+          report(r, "NAXIS2", "axis repaired from payload size", true);
+        }
+      } else if (!expected.width && naxis2 && *naxis2 > 0 && bytes_per_px > 0 &&
+                 payload %
+                         (static_cast<std::size_t>(*naxis2) * bytes_per_px) ==
+                     0) {
+        const auto implied_n1 = static_cast<std::int64_t>(
+            payload / (static_cast<std::size_t>(*naxis2) * bytes_per_px));
+        h.set_int("NAXIS1", implied_n1, "repaired by sanity pass");
+        report(r, "NAXIS1", "axis repaired from payload size", true);
+      }
+    }
+    if (!geometry_consistent(h, hdu.data.size())) {
+      report(r, "NAXIS", "header geometry inconsistent with payload size",
+             false);
+    }
+  }
+
+  // --- BZERO (for 16-bit images) ----------------------------------------------
+  bitpix = h.get_int("BITPIX");
+  if (bitpix && *bitpix == 16 && h.contains("BZERO")) {
+    const auto bzero = h.get_double("BZERO");
+    if (!bzero || (*bzero != 0.0 && *bzero != 32768.0)) {
+      h.set_double("BZERO", 32768.0, "repaired by sanity pass");
+      report(r, "BZERO", "BZERO must be 0 or 32768 for 16-bit images", true);
+    }
+  }
+
+  return r;
+}
+
+}  // namespace spacefts::fits

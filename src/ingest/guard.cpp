@@ -1,0 +1,84 @@
+#include "spacefts/ingest/guard.hpp"
+
+#include <stdexcept>
+
+#include "spacefts/fits/fits.hpp"
+
+namespace spacefts::ingest {
+
+IngestGuard::IngestGuard(IngestConfig config) : config_(std::move(config)) {
+  // Constructing the algorithm validates upsilon/lambda once, up front.
+  (void)core::AlgoNgst(config_.algo);
+}
+
+std::vector<std::uint8_t> IngestGuard::pack(
+    const common::TemporalStack<std::uint16_t>& stack) {
+  fits::FitsFile file;
+  for (std::size_t t = 0; t < stack.frames(); ++t) {
+    file.hdus().push_back(fits::make_image_hdu(stack.cube().plane_image(t),
+                                               /*primary=*/t == 0));
+  }
+  return file.serialize();
+}
+
+IngestResult IngestGuard::ingest(std::span<const std::uint8_t> bytes) const {
+  IngestResult result;
+
+  // 1. Container parse.  A destroyed container is beyond repair here —
+  //    sanity checking needs HDU boundaries, which need sized headers.
+  fits::FitsFile file;
+  try {
+    file = fits::FitsFile::parse(bytes);
+  } catch (const fits::FitsError& e) {
+    result.error = std::string("container parse failed: ") + e.what();
+    return result;
+  }
+  if (file.hdus().size() < config_.min_readouts) {
+    result.error = "too few readouts for temporal preprocessing";
+    return result;
+  }
+
+  // 2. The Λ=0 sanity layer over every HDU.
+  bool geometry_ok = true;
+  for (auto& hdu : file.hdus()) {
+    result.sanity.push_back(fits::check_and_repair(hdu, config_.expectation));
+    if (!result.sanity.back().fully_repaired()) geometry_ok = false;
+  }
+  if (!geometry_ok) {
+    result.error = "unrepairable header damage";
+    return result;
+  }
+
+  // 3. Decode into a stack, insisting on uniform geometry.
+  std::vector<common::Image<std::uint16_t>> frames;
+  frames.reserve(file.hdus().size());
+  for (const auto& hdu : file.hdus()) {
+    try {
+      frames.push_back(fits::read_image_u16(hdu));
+    } catch (const fits::FitsError& e) {
+      result.error = std::string("readout decode failed: ") + e.what();
+      return result;
+    }
+    if (frames.size() > 1 &&
+        (frames.back().width() != frames.front().width() ||
+         frames.back().height() != frames.front().height())) {
+      result.error = "readout geometry differs across the baseline";
+      return result;
+    }
+  }
+  common::TemporalStack<std::uint16_t> stack(
+      frames.front().width(), frames.front().height(), frames.size());
+  for (std::size_t t = 0; t < frames.size(); ++t) {
+    stack.cube().set_plane(t, frames[t]);
+  }
+
+  // 4. Preprocess (a no-op at Λ = 0 by construction).
+  const core::AlgoNgst algo(config_.algo);
+  result.preprocess = algo.preprocess(stack);
+
+  result.stack = std::move(stack);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace spacefts::ingest

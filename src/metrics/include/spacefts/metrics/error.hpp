@@ -1,0 +1,142 @@
+/// \file error.hpp
+/// The paper's precision metrics.
+///
+/// Eq. (3)/(4):  Psi = (1/N) * sum_i |X(i) - Pi(i)| / Pi(i)
+/// where Pi is the pristine dataset, X is either the corrupted dataset P
+/// (Psi_NoPreprocessing) or the preprocessed dataset Omega (Psi_Algorithm).
+/// Coordinates whose pristine value is zero are excluded from the average
+/// (the paper notes NGST background noise guarantees non-zero reads; OTIS
+/// radiances are strictly positive — the guard only protects synthetic
+/// corner cases).
+#pragma once
+
+#include <cmath>
+#include <concepts>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "spacefts/common/bitops.hpp"
+
+namespace spacefts::metrics {
+
+/// Average relative error between a pristine and an observed sequence.
+/// \throws std::invalid_argument on a length mismatch.
+template <typename T>
+  requires std::integral<T> || std::floating_point<T>
+[[nodiscard]] double average_relative_error(std::span<const T> pristine,
+                                            std::span<const T> observed) {
+  if (pristine.size() != observed.size()) {
+    throw std::invalid_argument("average_relative_error: length mismatch");
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    const double ideal = static_cast<double>(pristine[i]);
+    if (ideal == 0.0) continue;
+    const double diff = static_cast<double>(observed[i]) - ideal;
+    sum += (diff < 0 ? -diff : diff) / (ideal < 0 ? -ideal : ideal);
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+/// Average relative error with each sample's contribution capped at
+/// \p cap (default 1 = "total loss of that sample").  Needed for float
+/// data: a single exponent-bit flip can push one sample to ~1e38, making
+/// the uncapped mean meaningless (and a NaN poisons it entirely); a capped
+/// sample counts as fully lost, no worse.  Non-finite observations count
+/// as the cap.  Zero-pristine samples are excluded as in
+/// average_relative_error().
+template <typename T>
+  requires std::integral<T> || std::floating_point<T>
+[[nodiscard]] double capped_average_relative_error(std::span<const T> pristine,
+                                                   std::span<const T> observed,
+                                                   double cap = 1.0) {
+  if (pristine.size() != observed.size()) {
+    throw std::invalid_argument("capped_average_relative_error: length mismatch");
+  }
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    const double ideal = static_cast<double>(pristine[i]);
+    if (ideal == 0.0) continue;
+    const double obs = static_cast<double>(observed[i]);
+    double err;
+    if (!std::isfinite(obs)) {
+      err = cap;
+    } else {
+      err = std::abs(obs - ideal) / std::abs(ideal);
+      if (!(err < cap)) err = cap;  // also catches NaN from inf-inf
+    }
+    sum += err;
+    ++counted;
+  }
+  return counted ? sum / static_cast<double>(counted) : 0.0;
+}
+
+/// Root-mean-square error; used by the end-to-end pipeline experiments
+/// where output maps may legitimately contain zeros.
+template <typename T>
+  requires std::integral<T> || std::floating_point<T>
+[[nodiscard]] double rms_error(std::span<const T> pristine,
+                               std::span<const T> observed) {
+  if (pristine.size() != observed.size()) {
+    throw std::invalid_argument("rms_error: length mismatch");
+  }
+  if (pristine.empty()) return 0.0;
+  double sq = 0.0;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    const double d =
+        static_cast<double>(observed[i]) - static_cast<double>(pristine[i]);
+    sq += d * d;
+  }
+  return std::sqrt(sq / static_cast<double>(pristine.size()));
+}
+
+/// Bit-level confusion summary of one preprocessing run, judged against the
+/// pristine data: how many genuinely flipped bits were repaired (corrected),
+/// how many clean bits were flipped by the algorithm (false alarms, the
+/// paper's "pseudo-corrections"), and how many flipped bits survived
+/// (misses).
+struct CorrectionStats {
+  std::size_t corrected = 0;     ///< faulty bits restored to the pristine value
+  std::size_t false_alarms = 0;  ///< clean bits damaged by the algorithm
+  std::size_t missed = 0;        ///< faulty bits left uncorrected
+  std::size_t injected = 0;      ///< total bits flipped by the fault injector
+
+  [[nodiscard]] double correction_rate() const noexcept {
+    return injected ? static_cast<double>(corrected) /
+                          static_cast<double>(injected)
+                    : 0.0;
+  }
+};
+
+/// Computes CorrectionStats for unsigned-integral pixels.
+template <std::unsigned_integral T>
+[[nodiscard]] CorrectionStats correction_stats(std::span<const T> pristine,
+                                               std::span<const T> corrupted,
+                                               std::span<const T> repaired) {
+  if (pristine.size() != corrupted.size() ||
+      pristine.size() != repaired.size()) {
+    throw std::invalid_argument("correction_stats: length mismatch");
+  }
+  CorrectionStats s;
+  for (std::size_t i = 0; i < pristine.size(); ++i) {
+    const T fault_mask = static_cast<T>(pristine[i] ^ corrupted[i]);
+    const T residual = static_cast<T>(pristine[i] ^ repaired[i]);
+    s.injected += static_cast<std::size_t>(std::popcount(fault_mask));
+    // A bit is corrected if it was faulty and is now clean.
+    s.corrected += static_cast<std::size_t>(
+        std::popcount(static_cast<T>(fault_mask & ~residual)));
+    // Missed: faulty and still wrong.
+    s.missed += static_cast<std::size_t>(
+        std::popcount(static_cast<T>(fault_mask & residual)));
+    // False alarm: clean before, wrong now.
+    s.false_alarms += static_cast<std::size_t>(
+        std::popcount(static_cast<T>(~fault_mask & residual)));
+  }
+  return s;
+}
+
+}  // namespace spacefts::metrics

@@ -1,0 +1,32 @@
+/// \file timer.hpp
+/// Wall-clock stopwatch used by the overhead experiments (Fig. 3).
+#pragma once
+
+#include <chrono>
+
+namespace spacefts::metrics {
+
+/// Steady-clock stopwatch.  Started on construction; elapsed() may be read
+/// any number of times; restart() re-arms it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void restart() noexcept { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Microseconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_micros() const noexcept {
+    return elapsed_seconds() * 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace spacefts::metrics

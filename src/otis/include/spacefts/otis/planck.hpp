@@ -1,0 +1,38 @@
+/// \file planck.hpp
+/// Thermal-infrared radiometry for the OTIS substrate.
+///
+/// OTIS (Orbital Thermal Imaging Spectrometer) turns at-sensor spectral
+/// radiance into surface temperature and emissivity maps.  The captures the
+/// paper used are unavailable, so this library provides the forward model
+/// (Planck spectral radiance x emissivity) used by the scene generator, and
+/// the inverse (brightness temperature) used by the retrieval in
+/// retrieval.hpp.  Units: wavelength in micrometres, radiance in
+/// W·m⁻²·sr⁻¹·µm⁻¹, temperature in kelvin.
+#pragma once
+
+namespace spacefts::otis {
+
+/// First and second radiation constants for radiance per unit wavelength.
+/// c1L = 2hc² expressed in W·µm⁴·m⁻²·sr⁻¹, c2 = hc/k in µm·K.
+inline constexpr double kC1L = 1.191042972e8;
+inline constexpr double kC2 = 1.438776877e4;
+
+/// Blackbody spectral radiance B(λ, T).
+/// \param wavelength_um wavelength in µm, must be > 0
+/// \param temperature_k temperature in K, must be > 0
+/// \throws std::invalid_argument on non-positive arguments.
+[[nodiscard]] double planck_radiance(double wavelength_um, double temperature_k);
+
+/// Inverse Planck: brightness temperature for an observed radiance.
+/// \returns 0 for non-positive radiance (no physical solution).
+/// \throws std::invalid_argument for non-positive wavelength.
+[[nodiscard]] double brightness_temperature(double wavelength_um,
+                                            double radiance);
+
+/// Emitted at-sensor radiance of a grey body: ε·B(λ, T).
+/// \throws std::invalid_argument if emissivity is outside [0, 1] or the
+/// Planck arguments are invalid.
+[[nodiscard]] double greybody_radiance(double wavelength_um,
+                                       double temperature_k, double emissivity);
+
+}  // namespace spacefts::otis

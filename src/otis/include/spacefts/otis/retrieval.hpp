@@ -1,0 +1,47 @@
+/// \file retrieval.hpp
+/// OTIS output products: the 2-D temperature map (kelvin) and the 3-D
+/// emissivity cube the paper describes in §7.1.
+///
+/// Temperature–emissivity separation is under-determined (N bands, N+1
+/// unknowns); we implement the classic Normalized Emissivity Method (NEM):
+/// assume a maximum emissivity ε_max, take the brightness temperature of
+/// each band under that assumption, keep the hottest — that is the
+/// temperature estimate — then solve each band's emissivity exactly.
+/// NEM is what comparable instruments (ASTER heritage) flew before TES, and
+/// it propagates input errors to the output the same way the paper relies
+/// on: a corrupted radiance in *any* band can capture the max and skew the
+/// temperature, which is why OTIS output precision tracks input precision so
+/// tightly (§7.1: "the correlation between precision at output and input is
+/// much higher in OTIS").
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spacefts/common/image.hpp"
+
+namespace spacefts::otis {
+
+/// Result of a temperature–emissivity retrieval.
+struct Retrieval {
+  common::Image<double> temperature_k;   ///< 2-D surface temperature map
+  common::Cube<double> emissivity;       ///< per-band emissivity cube
+};
+
+/// Runs the NEM retrieval.
+/// \param radiance   (x, y, band) at-sensor radiance cube
+/// \param wavelengths_um one wavelength per band (size == radiance.depth())
+/// \param assumed_max_emissivity the NEM ε_max, in (0, 1]
+/// \throws std::invalid_argument on size mismatch or bad ε_max.
+/// Non-positive radiances yield a 0 K vote for that band (they can never
+/// capture the max); a pixel whose every band is non-positive gets T = 0
+/// and zero emissivities.
+[[nodiscard]] Retrieval retrieve(const common::Cube<float>& radiance,
+                                 std::span<const double> wavelengths_um,
+                                 double assumed_max_emissivity = 0.97);
+
+/// Standard OTIS band grid used across the tests/benches: 8 bands spanning
+/// the 8–12 µm thermal-infrared atmospheric window.
+[[nodiscard]] std::vector<double> standard_band_grid();
+
+}  // namespace spacefts::otis

@@ -1,0 +1,33 @@
+#include "spacefts/otis/planck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace spacefts::otis {
+
+double planck_radiance(double wavelength_um, double temperature_k) {
+  if (wavelength_um <= 0.0 || temperature_k <= 0.0) {
+    throw std::invalid_argument("planck_radiance: non-positive argument");
+  }
+  const double l5 = std::pow(wavelength_um, 5);
+  return kC1L / (l5 * std::expm1(kC2 / (wavelength_um * temperature_k)));
+}
+
+double brightness_temperature(double wavelength_um, double radiance) {
+  if (wavelength_um <= 0.0) {
+    throw std::invalid_argument("brightness_temperature: non-positive wavelength");
+  }
+  if (radiance <= 0.0) return 0.0;
+  const double l5 = std::pow(wavelength_um, 5);
+  return kC2 / (wavelength_um * std::log1p(kC1L / (l5 * radiance)));
+}
+
+double greybody_radiance(double wavelength_um, double temperature_k,
+                         double emissivity) {
+  if (emissivity < 0.0 || emissivity > 1.0) {
+    throw std::invalid_argument("greybody_radiance: emissivity outside [0, 1]");
+  }
+  return emissivity * planck_radiance(wavelength_um, temperature_k);
+}
+
+}  // namespace spacefts::otis

@@ -1,0 +1,61 @@
+#include "spacefts/otis/retrieval.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "spacefts/otis/planck.hpp"
+
+namespace spacefts::otis {
+
+Retrieval retrieve(const common::Cube<float>& radiance,
+                   std::span<const double> wavelengths_um,
+                   double assumed_max_emissivity) {
+  if (wavelengths_um.size() != radiance.depth()) {
+    throw std::invalid_argument("retrieve: wavelengths/bands mismatch");
+  }
+  if (assumed_max_emissivity <= 0.0 || assumed_max_emissivity > 1.0) {
+    throw std::invalid_argument("retrieve: emissivity outside (0, 1]");
+  }
+  Retrieval out{
+      common::Image<double>(radiance.width(), radiance.height()),
+      common::Cube<double>(radiance.width(), radiance.height(),
+                           radiance.depth()),
+  };
+  for (std::size_t y = 0; y < radiance.height(); ++y) {
+    for (std::size_t x = 0; x < radiance.width(); ++x) {
+      // NEM step 1: hottest brightness temperature under ε_max.
+      double t_best = 0.0;
+      for (std::size_t b = 0; b < radiance.depth(); ++b) {
+        const double l = static_cast<double>(radiance(x, y, b));
+        if (l <= 0.0) continue;
+        const double t = brightness_temperature(wavelengths_um[b],
+                                                l / assumed_max_emissivity);
+        t_best = std::max(t_best, t);
+      }
+      out.temperature_k(x, y) = t_best;
+      // NEM step 2: per-band emissivity at that temperature.
+      for (std::size_t b = 0; b < radiance.depth(); ++b) {
+        const double l = static_cast<double>(radiance(x, y, b));
+        if (t_best <= 0.0 || l <= 0.0) {
+          out.emissivity(x, y, b) = 0.0;
+          continue;
+        }
+        const double bb = planck_radiance(wavelengths_um[b], t_best);
+        out.emissivity(x, y, b) = std::clamp(l / bb, 0.0, 1.0);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> standard_band_grid() {
+  // 8 bands, evenly spaced across the 8–12 µm window.
+  std::vector<double> bands(8);
+  for (std::size_t b = 0; b < bands.size(); ++b) {
+    bands[b] = 8.0 + 4.0 * static_cast<double>(b) /
+                         static_cast<double>(bands.size() - 1);
+  }
+  return bands;
+}
+
+}  // namespace spacefts::otis

@@ -1,0 +1,48 @@
+#include "spacefts/rice/bitstream.hpp"
+
+namespace spacefts::rice {
+
+void BitWriter::write_bits(std::uint64_t value, unsigned count) {
+  for (unsigned i = count; i-- > 0;) {
+    const bool bit = (value >> i) & 1;
+    const std::size_t byte_index = bit_count_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) {
+      bytes_[byte_index] =
+          static_cast<std::uint8_t>(bytes_[byte_index] | (0x80u >> (bit_count_ % 8)));
+    }
+    ++bit_count_;
+  }
+}
+
+void BitWriter::write_unary(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) write_bits(1, 1);
+  write_bits(0, 1);
+}
+
+std::vector<std::uint8_t> BitWriter::finish() {
+  return std::move(bytes_);
+}
+
+bool BitReader::read_bit() {
+  if (pos_ >= size()) throw BitstreamError("BitReader: past end of stream");
+  const bool bit = (bytes_[pos_ / 8] >> (7 - pos_ % 8)) & 1;
+  ++pos_;
+  return bit;
+}
+
+std::uint64_t BitReader::read_bits(unsigned count) {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    out = (out << 1) | static_cast<std::uint64_t>(read_bit());
+  }
+  return out;
+}
+
+std::uint64_t BitReader::read_unary() {
+  std::uint64_t count = 0;
+  while (read_bit()) ++count;
+  return count;
+}
+
+}  // namespace spacefts::rice

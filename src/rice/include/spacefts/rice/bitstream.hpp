@@ -1,0 +1,66 @@
+/// \file bitstream.hpp
+/// MSB-first bit-level I/O used by the Rice codec.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace spacefts::rice {
+
+/// Thrown when a reader runs past the end of its buffer.
+class BitstreamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Appends bits MSB-first into a growing byte buffer.
+class BitWriter {
+ public:
+  /// Writes the low \p count bits of \p value (MSB of that slice first).
+  /// \pre count <= 64.
+  void write_bits(std::uint64_t value, unsigned count);
+
+  /// Writes \p count consecutive one-bits followed by a zero (unary code).
+  void write_unary(std::uint64_t count);
+
+  /// Pads to a byte boundary with zeros and returns the buffer.
+  [[nodiscard]] std::vector<std::uint8_t> finish();
+
+  /// Bits written so far (before padding).
+  [[nodiscard]] std::size_t bit_count() const noexcept { return bit_count_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Reads \p count bits as an unsigned value. \pre count <= 64.
+  /// \throws BitstreamError past the end.
+  [[nodiscard]] std::uint64_t read_bits(unsigned count);
+
+  /// Reads a unary code: the number of one-bits before the next zero.
+  /// \throws BitstreamError past the end.
+  [[nodiscard]] std::uint64_t read_unary();
+
+  /// Bits consumed so far.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  /// Total bits available.
+  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size() * 8; }
+
+ private:
+  [[nodiscard]] bool read_bit();
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace spacefts::rice

@@ -1,0 +1,38 @@
+/// \file regression.hpp
+/// The remaining §4 smoothers: "Some other commonly used smoothing
+/// algorithms include negative exponential, loess, running average,
+/// inverse square, bi-square etc."
+///
+/// * loess          — locally weighted linear regression with the tricube
+///                    kernel (Cleveland), span given as a window width;
+/// * inverse-square — kernel smoother with weights 1/(1+d²);
+/// * bi-square      — robust loess: after the first fit, residual-based
+///                    bisquare weights down-weight outliers and the local
+///                    fit is repeated (one robustness iteration).
+///
+/// All operate on one coordinate's temporal series, non-recursively, like
+/// the rest of spacefts::smoothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace spacefts::smoothing {
+
+/// Loess with the tricube kernel over a centred window of odd width >= 3
+/// (clamped at the ends).  \throws std::invalid_argument for an even or
+/// too-small width.
+void loess_smooth(std::span<std::uint16_t> data, std::size_t width);
+
+/// Kernel smoothing with inverse-square distance weights over a centred
+/// window of odd width >= 3.  \throws std::invalid_argument for an even or
+/// too-small width.
+void inverse_square_smooth(std::span<std::uint16_t> data, std::size_t width);
+
+/// Robust (bisquare-reweighted) loess: one loess pass, then residual-based
+/// bisquare down-weighting and a second local fit.  Far more resistant to
+/// isolated corrupted samples than plain loess.
+/// \throws std::invalid_argument for an even or too-small width.
+void bisquare_smooth(std::span<std::uint16_t> data, std::size_t width);
+
+}  // namespace spacefts::smoothing

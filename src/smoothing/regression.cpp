@@ -1,0 +1,164 @@
+#include "spacefts/smoothing/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace spacefts::smoothing {
+
+namespace {
+
+void require_window(std::size_t width) {
+  if (width < 3 || width % 2 == 0) {
+    throw std::invalid_argument("smoothing: window width must be odd and >= 3");
+  }
+}
+
+[[nodiscard]] std::uint16_t clamp_u16(double v) noexcept {
+  if (v <= 0.0) return 0;
+  if (v >= 65535.0) return 65535;
+  return static_cast<std::uint16_t>(std::lround(v));
+}
+
+/// Weighted linear least squares of (t, y) around centre index c; returns
+/// the fitted value at t = c.  Falls back to the weighted mean when the
+/// design is degenerate (all weight on one point).
+[[nodiscard]] double weighted_local_fit(std::span<const double> y,
+                                        std::span<const double> weight,
+                                        std::size_t lo, std::size_t hi,
+                                        std::size_t centre) {
+  double sw = 0, swt = 0, swy = 0, swtt = 0, swty = 0;
+  for (std::size_t i = lo; i <= hi; ++i) {
+    const double t = static_cast<double>(i) - static_cast<double>(centre);
+    const double w = weight[i - lo];
+    sw += w;
+    swt += w * t;
+    swy += w * y[i];
+    swtt += w * t * t;
+    swty += w * t * y[i];
+  }
+  if (sw <= 0.0) return y[centre];
+  const double denom = sw * swtt - swt * swt;
+  if (std::abs(denom) < 1e-12) return swy / sw;
+  // Value at t = 0 is the intercept of the weighted fit.
+  return (swtt * swy - swt * swty) / denom;
+}
+
+/// Tricube kernel on normalized distance u in [0, 1].
+[[nodiscard]] double tricube(double u) noexcept {
+  const double t = 1.0 - u * u * u;
+  return t <= 0.0 ? 0.0 : t * t * t;
+}
+
+template <typename WeightFn>
+void kernel_regression(std::span<std::uint16_t> data, std::size_t width,
+                       WeightFn&& weight_of, bool robust) {
+  require_window(width);
+  const std::size_t n = data.size();
+  if (n < 3) return;
+  const std::size_t half = width / 2;
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = static_cast<double>(data[i]);
+
+  std::vector<double> weights;
+  std::vector<double> robust_weights;
+  if (robust) {
+    // Robustness weights come from residuals against a *running median*
+    // rather than a first unweighted fit: the median has a 50% breakdown
+    // point, so an isolated outlier cannot contaminate its neighbours'
+    // residuals (a plain loess first pass can, and with mostly-clean data
+    // the bisquare scale collapses and zeroes the whole window).
+    std::vector<double> window;
+    std::vector<double> abs_residuals(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lo = i >= half ? i - half : 0;
+      const std::size_t hi = std::min(n - 1, i + half);
+      window.assign(y.begin() + static_cast<std::ptrdiff_t>(lo),
+                    y.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<std::ptrdiff_t>(
+                                            (window.size() - 1) / 2),
+                       window.end());
+      abs_residuals[i] = std::abs(y[i] - window[(window.size() - 1) / 2]);
+    }
+    std::vector<double> sorted = abs_residuals;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(n / 2),
+                     sorted.end());
+    // Scale floor: the median absolute successive difference.  On trending
+    // data the running-median residuals vanish in the interior but not at
+    // the clamped ends; without a trend-aware floor the ends would be
+    // branded outliers.
+    std::vector<double> steps(n - 1);
+    for (std::size_t i = 0; i + 1 < n; ++i) steps[i] = std::abs(y[i + 1] - y[i]);
+    std::nth_element(steps.begin(),
+                     steps.begin() + static_cast<std::ptrdiff_t>(steps.size() / 2),
+                     steps.end());
+    const double s =
+        std::max({sorted[n / 2], steps[steps.size() / 2], 1e-9});
+    robust_weights.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double u = abs_residuals[i] / (6.0 * s);
+      const double t = 1.0 - u * u;
+      robust_weights[i] = t <= 0.0 ? 0.0 : t * t;
+    }
+  }
+  for (int pass = robust ? 1 : 0; pass < (robust ? 2 : 1); ++pass) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lo = i >= half ? i - half : 0;
+      const std::size_t hi = std::min(n - 1, i + half);
+      weights.assign(hi - lo + 1, 0.0);
+      const double reach = static_cast<double>(half) + 0.5;
+      for (std::size_t j = lo; j <= hi; ++j) {
+        const double d =
+            std::abs(static_cast<double>(j) - static_cast<double>(i));
+        double w = weight_of(d / reach);
+        if (pass == 1) w *= robust_weights[j];
+        weights[j - lo] = w;
+      }
+      double fitted = weighted_local_fit(y, weights, lo, hi, i);
+      if (pass == 1) {
+        // If the bisquare zeroed the entire window (everything there is an
+        // outlier relative to the global scale), fall back to the plain
+        // kernel fit *excluding* the centre — the neighbours, however
+        // deviant globally, still say more than the point itself.
+        double sw = 0.0;
+        for (double w : weights) sw += w;
+        if (sw <= 0.0) {
+          for (std::size_t j = lo; j <= hi; ++j) {
+            const double d =
+                std::abs(static_cast<double>(j) - static_cast<double>(i));
+            weights[j - lo] = j == i ? 0.0 : weight_of(d / reach);
+          }
+          fitted = weighted_local_fit(y, weights, lo, hi, i);
+        }
+      }
+      data[i] = clamp_u16(fitted);
+    }
+  }
+}
+
+}  // namespace
+
+void loess_smooth(std::span<std::uint16_t> data, std::size_t width) {
+  kernel_regression(data, width, tricube, /*robust=*/false);
+}
+
+void inverse_square_smooth(std::span<std::uint16_t> data, std::size_t width) {
+  kernel_regression(
+      data, width,
+      [](double u) {
+        // Distance is normalized to [0,1]; rescale so the weight spans a
+        // meaningful range across the window.
+        const double d = 3.0 * u;
+        return 1.0 / (1.0 + d * d);
+      },
+      /*robust=*/false);
+}
+
+void bisquare_smooth(std::span<std::uint16_t> data, std::size_t width) {
+  kernel_regression(data, width, tricube, /*robust=*/true);
+}
+
+}  // namespace spacefts::smoothing

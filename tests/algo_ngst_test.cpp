@@ -1,0 +1,242 @@
+// Tests for Algo_NGST — correctness of the correction behaviour, window
+// semantics, equivalence of the two implementations, and the headline
+// statistical property: preprocessing reduces the paper's Ψ metric.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/fault/models.hpp"
+#include "spacefts/metrics/error.hpp"
+
+namespace sc = spacefts::core;
+namespace sd = spacefts::datagen;
+namespace sf = spacefts::fault;
+namespace sm = spacefts::metrics;
+using spacefts::common::Rng;
+
+TEST(AlgoNgst, ValidatesConfig) {
+  sc::AlgoNgstConfig bad;
+  bad.upsilon = 3;
+  EXPECT_THROW((void)sc::AlgoNgst{bad}, std::invalid_argument);
+  bad.upsilon = 0;
+  EXPECT_THROW((void)sc::AlgoNgst{bad}, std::invalid_argument);
+  bad.upsilon = 4;
+  bad.lambda = -5.0;
+  EXPECT_THROW((void)sc::AlgoNgst{bad}, std::invalid_argument);
+}
+
+TEST(AlgoNgst, LambdaZeroNeverTouchesData) {
+  sc::AlgoNgstConfig config;
+  config.lambda = 0.0;
+  const sc::AlgoNgst algo(config);
+  std::vector<std::uint16_t> series{100, 50000, 3, 60000, 9};
+  const auto original = series;
+  const auto report = algo.preprocess(series);
+  EXPECT_EQ(series, original);
+  EXPECT_EQ(report.pixels_corrected, 0u);
+}
+
+TEST(AlgoNgst, ShortSeriesUntouched) {
+  const sc::AlgoNgst algo;
+  std::vector<std::uint16_t> two{10, 60000};
+  const auto original = two;
+  (void)algo.preprocess(two);
+  EXPECT_EQ(two, original);
+}
+
+TEST(AlgoNgst, CorrectsSingleHighBitFlipInConstantSeries) {
+  const sc::AlgoNgst algo;
+  std::vector<std::uint16_t> series(64, 27000);
+  series[30] = 27000 ^ 0x4000;
+  const auto report = algo.preprocess(series);
+  for (auto v : series) EXPECT_EQ(v, 27000u);
+  EXPECT_EQ(report.pixels_corrected, 1u);
+  EXPECT_EQ(report.bits_corrected, 1u);
+}
+
+TEST(AlgoNgst, CorrectsEveryBitOfConstantSeries) {
+  // With zero natural variation, even low-bit flips are identifiable —
+  // window C is empty (the dynamic thresholds quantize to zero).
+  const sc::AlgoNgst algo;
+  for (unsigned bit = 0; bit < 16; ++bit) {
+    std::vector<std::uint16_t> series(64, 12345);
+    series[20] = static_cast<std::uint16_t>(12345 ^ (1u << bit));
+    (void)algo.preprocess(series);
+    EXPECT_EQ(series[20], 12345u) << "bit " << bit;
+  }
+}
+
+TEST(AlgoNgst, LeavesLowBitsAloneInNoisyData) {
+  // With σ ≈ 250 the natural variation owns bits ~0–8; a bit-0 flip is
+  // below the dynamic window C boundary and must NOT be "corrected" (it is
+  // statistically invisible, §3.1).
+  sd::NgstSimulator sim(42);
+  auto series = sim.sequence(64, 27000.0, 250.0);
+  auto damaged = series;
+  damaged[30] = static_cast<std::uint16_t>(damaged[30] ^ 0x0001);
+  const sc::AlgoNgst algo;
+  auto working = damaged;
+  const auto report = algo.preprocess(working);
+  EXPECT_NE(report.lsb_mask & 0x0001, 0x0001);
+  EXPECT_EQ(working[30] & 0x1, damaged[30] & 0x1);
+}
+
+TEST(AlgoNgst, CorrectsHighBitFlipInNoisyData) {
+  sd::NgstSimulator sim(43);
+  const auto pristine = sim.sequence(64, 27000.0, 250.0);
+  auto damaged = pristine;
+  damaged[30] = static_cast<std::uint16_t>(damaged[30] ^ 0x2000);  // bit 13
+  const sc::AlgoNgst algo;
+  const auto report = algo.preprocess(damaged);
+  EXPECT_EQ(damaged[30], pristine[30]);
+  EXPECT_GE(report.bits_corrected, 1u);
+}
+
+TEST(AlgoNgst, CleanNoisyDataSuffersFewFalseAlarms) {
+  // At the default Λ = 80, preprocessing pristine data must be almost free
+  // of pseudo-corrections (the dynamic thresholds adapt to the turbulence).
+  sd::NgstSimulator sim(44);
+  const sc::AlgoNgst algo;
+  std::size_t damaged_bits = 0, total_bits = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pristine = sim.sequence(64, 27000.0, 250.0);
+    auto working = pristine;
+    (void)algo.preprocess(working);
+    damaged_bits += spacefts::common::hamming_distance<std::uint16_t>(
+        pristine, working);
+    total_bits += pristine.size() * 16;
+  }
+  EXPECT_LT(static_cast<double>(damaged_bits) / static_cast<double>(total_bits),
+            0.002);
+}
+
+TEST(AlgoNgst, ReducesPsiUnderUncorrelatedFaults) {
+  // The headline claim (Fig. 2): for practical Γ₀, Ψ_Algorithm ≪ Ψ_NoPre.
+  sd::NgstSimulator sim(45);
+  Rng fault_rng(46);
+  const sc::AlgoNgst algo;
+  double psi_no_pre = 0.0, psi_algo = 0.0;
+  const int trials = 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto pristine = sim.sequence(64, 27000.0, 250.0);
+    auto corrupted = pristine;
+    const sf::UncorrelatedFaultModel model(0.01);
+    const auto mask = model.mask16(corrupted.size(), fault_rng);
+    sf::apply_mask<std::uint16_t>(corrupted, mask);
+    auto preprocessed = corrupted;
+    (void)algo.preprocess(preprocessed);
+    psi_no_pre +=
+        sm::average_relative_error<std::uint16_t>(pristine, corrupted);
+    psi_algo +=
+        sm::average_relative_error<std::uint16_t>(pristine, preprocessed);
+  }
+  EXPECT_LT(psi_algo, psi_no_pre / 5.0);
+}
+
+TEST(AlgoNgst, BitSerialMatchesWordParallel) {
+  sd::NgstSimulator sim(47);
+  Rng fault_rng(48);
+  for (double lambda : {20.0, 50.0, 80.0, 100.0}) {
+    sc::AlgoNgstConfig config;
+    config.lambda = lambda;
+    const sc::AlgoNgst algo(config);
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto pristine = sim.sequence(64, 27000.0, 250.0);
+      auto a = pristine;
+      const sf::UncorrelatedFaultModel model(0.02);
+      const auto mask = model.mask16(a.size(), fault_rng);
+      sf::apply_mask<std::uint16_t>(a, mask);
+      auto b = a;
+      const auto ra = algo.preprocess(a);
+      const auto rb = algo.preprocess_bitserial(b);
+      ASSERT_EQ(a, b) << "lambda " << lambda << " trial " << trial;
+      EXPECT_EQ(ra.pixels_corrected, rb.pixels_corrected);
+      EXPECT_EQ(ra.bits_corrected, rb.bits_corrected);
+    }
+  }
+}
+
+TEST(AlgoNgst, StackPreprocessingMatchesPerSeries) {
+  sd::NgstSimulator sim(49);
+  sd::SceneParams params;
+  params.width = 8;
+  params.height = 8;
+  auto stack = sim.stack(32, params, 250.0);
+  Rng fault_rng(50);
+  const sf::UncorrelatedFaultModel model(0.01);
+  auto mask = model.mask16(stack.cube().size(), fault_rng);
+  sf::apply_mask<std::uint16_t>(stack.cube().voxels(), mask);
+
+  auto by_stack = stack;
+  auto by_series = stack;
+  const sc::AlgoNgst algo;
+  (void)algo.preprocess(by_stack);
+  for (std::size_t y = 0; y < by_series.height(); ++y) {
+    for (std::size_t x = 0; x < by_series.width(); ++x) {
+      auto series = by_series.series(x, y);
+      (void)algo.preprocess(series);
+      by_series.set_series(x, y, series);
+    }
+  }
+  EXPECT_EQ(by_stack, by_series);
+}
+
+TEST(AlgoNgst, ReportMasksAreConsistent) {
+  sd::NgstSimulator sim(51);
+  auto series = sim.sequence(64, 27000.0, 250.0);
+  const sc::AlgoNgst algo;
+  const auto report = algo.preprocess(series);
+  // Window A must be a sub-window of A∪B.
+  EXPECT_EQ(report.msb_mask & report.lsb_mask, report.msb_mask);
+  EXPECT_EQ(report.pixels_examined, series.size());
+}
+
+TEST(AlgoNgst, WindowsAblationChangesBehaviour) {
+  // Without windows, a 3-of-4 vote in the top bits must stop working.
+  sd::NgstSimulator sim(52);
+  Rng fault_rng(53);
+  sc::AlgoNgstConfig with;
+  sc::AlgoNgstConfig without;
+  without.enable_windows = false;
+  const sc::AlgoNgst algo_with(with);
+  const sc::AlgoNgst algo_without(without);
+  std::size_t diffs = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pristine = sim.sequence(64, 27000.0, 250.0);
+    auto a = pristine;
+    const sf::UncorrelatedFaultModel model(0.05);
+    const auto mask = model.mask16(a.size(), fault_rng);
+    sf::apply_mask<std::uint16_t>(a, mask);
+    auto b = a;
+    (void)algo_with.preprocess(a);
+    (void)algo_without.preprocess(b);
+    if (a != b) ++diffs;
+  }
+  EXPECT_GT(diffs, 0u);
+}
+
+TEST(AlgoNgst, HigherUpsilonHelpsOnConstantData) {
+  // §6 / Fig. 6 first row: for σ = 0, more voters are strictly better.
+  const double gamma0 = 0.08;
+  double psi[2] = {0.0, 0.0};
+  const std::size_t upsilons[2] = {2, 6};
+  for (int u = 0; u < 2; ++u) {
+    sc::AlgoNgstConfig config;
+    config.upsilon = upsilons[u];
+    const sc::AlgoNgst algo(config);
+    Rng trial_rng(99);  // identical fault patterns for both Υ
+    for (int trial = 0; trial < 60; ++trial) {
+      std::vector<std::uint16_t> pristine(64, 27000);
+      auto corrupted = pristine;
+      const sf::UncorrelatedFaultModel model(gamma0);
+      const auto mask = model.mask16(corrupted.size(), trial_rng);
+      sf::apply_mask<std::uint16_t>(corrupted, mask);
+      (void)algo.preprocess(corrupted);
+      psi[u] += sm::average_relative_error<std::uint16_t>(pristine, corrupted);
+    }
+  }
+  EXPECT_LE(psi[1], psi[0]);
+}

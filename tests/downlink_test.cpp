@@ -1,0 +1,84 @@
+// Tests for the downlink module — Rice-compressed FITS HDUs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/downlink/compressed_hdu.hpp"
+#include "spacefts/fits/fits.hpp"
+
+namespace dl = spacefts::downlink;
+using spacefts::common::Image;
+
+namespace {
+
+Image<std::uint16_t> smooth_image(std::uint64_t seed) {
+  spacefts::datagen::NgstSimulator sim(seed);
+  return sim.base_scene({});
+}
+
+}  // namespace
+
+TEST(CompressedHdu, RoundtripRestoresImageExactly) {
+  const auto img = smooth_image(1);
+  const auto hdu = dl::make_compressed_hdu(img);
+  EXPECT_TRUE(dl::is_compressed_hdu(hdu));
+  EXPECT_EQ(dl::read_compressed_hdu(hdu), img);
+}
+
+TEST(CompressedHdu, AchievesCompressionOnSmoothData) {
+  const auto img = smooth_image(2);
+  const auto hdu = dl::make_compressed_hdu(img);
+  EXPECT_GT(dl::stored_compression_ratio(hdu), 1.3);
+  EXPECT_LT(hdu.data.size(), img.size() * 2);
+}
+
+TEST(CompressedHdu, KeywordsDescribeTheStream) {
+  const auto img = smooth_image(3);
+  const auto hdu = dl::make_compressed_hdu(img);
+  EXPECT_EQ(hdu.header.get_int("BITPIX"), 8);
+  EXPECT_EQ(hdu.header.get_int("NAXIS"), 1);
+  EXPECT_EQ(hdu.header.get_int("NAXIS1"),
+            static_cast<std::int64_t>(hdu.data.size()));
+  EXPECT_EQ(hdu.header.get_int("ZNAXIS1"),
+            static_cast<std::int64_t>(img.width()));
+  EXPECT_EQ(hdu.header.get_string("ZCMPTYPE"), "RICE_1");
+}
+
+TEST(CompressedHdu, SurvivesFitsFileSerialization) {
+  // The compressed HDU must be a legal FITS citizen: serialize the whole
+  // file, parse it back, decompress.
+  const auto img = smooth_image(4);
+  spacefts::fits::FitsFile file;
+  file.hdus().push_back(dl::make_compressed_hdu(img));
+  const auto parsed = spacefts::fits::FitsFile::parse(file.serialize());
+  ASSERT_EQ(parsed.hdus().size(), 1u);
+  EXPECT_EQ(dl::read_compressed_hdu(parsed.hdus()[0]), img);
+}
+
+TEST(CompressedHdu, RejectsPlainHdus) {
+  const auto plain = spacefts::fits::make_image_hdu(smooth_image(5));
+  EXPECT_FALSE(dl::is_compressed_hdu(plain));
+  EXPECT_THROW((void)dl::read_compressed_hdu(plain), spacefts::fits::FitsError);
+  EXPECT_THROW((void)dl::stored_compression_ratio(plain),
+               spacefts::fits::FitsError);
+}
+
+TEST(CompressedHdu, DamagedGeometryThrows) {
+  auto hdu = dl::make_compressed_hdu(smooth_image(6));
+  hdu.header.set_int("ZNAXIS2", -4);
+  EXPECT_THROW((void)dl::read_compressed_hdu(hdu), spacefts::fits::FitsError);
+}
+
+TEST(CompressedHdu, TruncatedStreamThrows) {
+  auto hdu = dl::make_compressed_hdu(smooth_image(7));
+  hdu.data.resize(hdu.data.size() / 4);
+  EXPECT_THROW((void)dl::read_compressed_hdu(hdu), spacefts::fits::FitsError);
+}
+
+TEST(CompressedHdu, ExtensionFormCarriesXtension) {
+  const auto hdu = dl::make_compressed_hdu(smooth_image(8), /*primary=*/false);
+  EXPECT_EQ(hdu.header.get_string("XTENSION"), "IMAGE");
+  EXPECT_EQ(dl::read_compressed_hdu(hdu), smooth_image(8));
+}

@@ -1,0 +1,139 @@
+// Tests for the EDAC substrate — Hamming (72,64) SEC-DED and the protected
+// pixel store.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/edac/hamming.hpp"
+#include "spacefts/edac/protected_memory.hpp"
+
+namespace se = spacefts::edac;
+using spacefts::common::Rng;
+
+// -------------------------------------------------------------------- hamming
+
+TEST(Hamming, CleanWordDecodesClean) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t data = rng();
+    const auto parity = se::encode_parity(data);
+    const auto result = se::decode(data, parity);
+    EXPECT_EQ(result.status, se::DecodeStatus::kClean);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(Hamming, CorrectsEverySingleDataBitFlip) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t data = rng();
+    const auto parity = se::encode_parity(data);
+    for (int bit = 0; bit < 64; ++bit) {
+      const auto result = se::decode(data ^ (std::uint64_t{1} << bit), parity);
+      EXPECT_EQ(result.status, se::DecodeStatus::kCorrected);
+      EXPECT_EQ(result.data, data) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Hamming, CorrectsEverySingleParityBitFlip) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t data = rng();
+    const auto parity = se::encode_parity(data);
+    for (int bit = 0; bit < 8; ++bit) {
+      const auto result =
+          se::decode(data, static_cast<std::uint8_t>(parity ^ (1u << bit)));
+      EXPECT_EQ(result.status, se::DecodeStatus::kCorrected) << "bit " << bit;
+      EXPECT_EQ(result.data, data) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Hamming, DetectsDoubleDataBitFlips) {
+  Rng rng(4);
+  int detected = 0, total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t data = rng();
+    const auto parity = se::encode_parity(data);
+    const int b1 = static_cast<int>(rng.below(64));
+    int b2 = static_cast<int>(rng.below(64));
+    if (b2 == b1) b2 = (b2 + 1) % 64;
+    const std::uint64_t damaged =
+        data ^ (std::uint64_t{1} << b1) ^ (std::uint64_t{1} << b2);
+    const auto result = se::decode(damaged, parity);
+    ++total;
+    if (result.status == se::DecodeStatus::kUncorrectable) ++detected;
+    // It must never silently hand back wrong data as "clean".
+    EXPECT_NE(result.status, se::DecodeStatus::kClean);
+  }
+  EXPECT_EQ(detected, total);  // SEC-DED guarantees double detection
+}
+
+TEST(Hamming, ZeroAndAllOnesWords) {
+  for (std::uint64_t data : {std::uint64_t{0}, ~std::uint64_t{0}}) {
+    const auto parity = se::encode_parity(data);
+    EXPECT_EQ(se::decode(data, parity).status, se::DecodeStatus::kClean);
+    const auto fixed = se::decode(data ^ 1, parity);
+    EXPECT_EQ(fixed.status, se::DecodeStatus::kCorrected);
+    EXPECT_EQ(fixed.data, data);
+  }
+}
+
+// ----------------------------------------------------------- ProtectedMemory
+
+TEST(ProtectedMemory, RoundtripWithoutFaults) {
+  const std::vector<std::uint16_t> pixels{1, 2, 3, 4, 5, 6, 7};  // odd count
+  se::ProtectedMemory memory(pixels);
+  EXPECT_EQ(memory.size(), pixels.size());
+  std::vector<std::uint16_t> out;
+  const auto report = memory.scrub(out);
+  EXPECT_EQ(out, pixels);
+  EXPECT_EQ(report.corrected, 0u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+  EXPECT_EQ(report.words, 2u);
+}
+
+TEST(ProtectedMemory, CorrectsScatteredSingleBitDamage) {
+  std::vector<std::uint16_t> pixels(256, 27000);
+  se::ProtectedMemory memory(pixels);
+  // One flipped bit in each of three separate words.
+  memory.raw_words()[3] ^= std::uint64_t{1} << 17;
+  memory.raw_words()[10] ^= std::uint64_t{1} << 63;
+  memory.raw_checks()[20] ^= 0x04;
+  std::vector<std::uint16_t> out;
+  const auto report = memory.scrub(out);
+  EXPECT_EQ(out, pixels);
+  EXPECT_EQ(report.corrected, 3u);
+  EXPECT_EQ(report.uncorrectable, 0u);
+}
+
+TEST(ProtectedMemory, ReportsMultiBitWordsAsUncorrectable) {
+  std::vector<std::uint16_t> pixels(64, 1000);
+  se::ProtectedMemory memory(pixels);
+  memory.raw_words()[2] ^= 0b11;  // double flip in one word
+  std::vector<std::uint16_t> out;
+  const auto report = memory.scrub(out);
+  EXPECT_EQ(report.uncorrectable, 1u);
+  EXPECT_NE(out, pixels);  // SEC-DED cannot repair it
+}
+
+TEST(ProtectedMemory, ScrubRefreshesTheStore) {
+  // After a scrub, a second scrub of the same store must be clean — the
+  // classic scrubbing loop that stops single-bit errors accumulating.
+  std::vector<std::uint16_t> pixels(128, 512);
+  se::ProtectedMemory memory(pixels);
+  memory.raw_words()[0] ^= std::uint64_t{1} << 5;
+  std::vector<std::uint16_t> out;
+  (void)memory.scrub(out);
+  const auto second = memory.scrub(out);
+  EXPECT_EQ(second.corrected, 0u);
+  EXPECT_EQ(second.uncorrectable, 0u);
+  EXPECT_EQ(out, pixels);
+}
+
+TEST(ProtectedMemory, OverheadIsOneEighth) {
+  EXPECT_DOUBLE_EQ(se::ProtectedMemory::overhead(), 0.125);
+}

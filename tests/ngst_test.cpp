@@ -1,0 +1,217 @@
+// Tests for the NGST substrate — ramp synthesis and CR-rejecting
+// integration.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/metrics/error.hpp"
+#include "spacefts/ngst/cr_reject.hpp"
+#include "spacefts/ngst/readout.hpp"
+
+namespace sn = spacefts::ngst;
+using spacefts::common::Image;
+using spacefts::common::Rng;
+
+TEST(Readout, ValidatesArguments) {
+  Rng rng(1);
+  sn::RampParams params;
+  params.frames = 1;
+  EXPECT_THROW((void)sn::make_ramp_stack(Image<float>(4, 4, 10.0f), params, rng),
+               std::invalid_argument);
+  params.frames = 8;
+  EXPECT_THROW((void)sn::make_ramp_stack(Image<float>{}, params, rng),
+               std::invalid_argument);
+}
+
+TEST(Readout, CleanRampAccumulatesLinearly) {
+  Rng rng(2);
+  sn::RampParams params;
+  params.frames = 16;
+  params.read_noise = 0.0;
+  params.cr_probability = 0.0;
+  const auto stack = sn::make_ramp_stack(Image<float>(2, 2, 100.0f), params, rng);
+  const auto series = stack.readouts.series(0, 0);
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    EXPECT_EQ(static_cast<int>(series[t]) - static_cast<int>(series[t - 1]),
+              100);
+  }
+  EXPECT_EQ(series[0], 1100u);  // bias + one frame of flux
+}
+
+TEST(Readout, CrHitLeavesPersistentJump) {
+  Rng rng(3);
+  sn::RampParams params;
+  params.frames = 32;
+  params.read_noise = 0.0;
+  params.cr_probability = 1.0;  // force a hit on every pixel
+  params.cr_amp_min = params.cr_amp_max = 5000.0;
+  const auto stack = sn::make_ramp_stack(Image<float>(1, 1, 50.0f), params, rng);
+  EXPECT_EQ(stack.cr_hits(0, 0), 1);
+  const auto series = stack.readouts.series(0, 0);
+  int jumps = 0;
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    const int d = static_cast<int>(series[t]) - static_cast<int>(series[t - 1]);
+    if (d > 1000) {
+      ++jumps;
+    } else {
+      EXPECT_EQ(d, 50);
+    }
+  }
+  EXPECT_EQ(jumps, 1);
+}
+
+TEST(Readout, HitRateMatchesProbability) {
+  Rng rng(4);
+  sn::RampParams params;
+  params.cr_probability = 0.1;
+  const auto stack =
+      sn::make_ramp_stack(Image<float>(64, 64, 30.0f), params, rng);
+  std::size_t hits = 0;
+  for (auto h : stack.cr_hits.pixels()) hits += h;
+  const double rate = static_cast<double>(hits) / 4096.0;
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST(Readout, SaturatesAt16Bits) {
+  Rng rng(5);
+  sn::RampParams params;
+  params.frames = 64;
+  const auto stack =
+      sn::make_ramp_stack(Image<float>(2, 2, 5000.0f), params, rng);
+  EXPECT_EQ(stack.readouts(0, 0, 63), 65535u);
+}
+
+TEST(FluxScene, HasSkyAndStars) {
+  Rng rng(6);
+  const auto flux = sn::make_flux_scene(32, 32, rng, 30.0, 6);
+  float max_flux = 0.0f;
+  for (auto v : flux.pixels()) {
+    EXPECT_GE(v, 30.0f);
+    max_flux = std::max(max_flux, v);
+  }
+  EXPECT_GT(max_flux, 100.0f);
+}
+
+// ------------------------------------------------------------------ rejection
+
+TEST(CrReject, ValidatesFrameCount) {
+  spacefts::common::TemporalStack<std::uint16_t> two(2, 2, 2);
+  EXPECT_THROW((void)sn::reject_and_integrate(two), std::invalid_argument);
+  spacefts::common::TemporalStack<std::uint16_t> one(2, 2, 1);
+  EXPECT_THROW((void)sn::integrate_naive(one), std::invalid_argument);
+}
+
+TEST(CrReject, RecoversFluxOnCleanRamp) {
+  Rng rng(7);
+  sn::RampParams params;
+  params.cr_probability = 0.0;
+  const Image<float> flux(8, 8, 120.0f);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto result = sn::reject_and_integrate(stack.readouts);
+  for (auto v : result.flux.pixels()) EXPECT_NEAR(v, 120.0f, 8.0f);
+  EXPECT_EQ(result.rejected_differences, 0u);
+}
+
+TEST(CrReject, RejectsCosmicRayJumps) {
+  Rng rng(8);
+  sn::RampParams params;
+  params.cr_probability = 1.0;
+  params.cr_amp_min = params.cr_amp_max = 8000.0;
+  const Image<float> flux(4, 4, 100.0f);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto result = sn::reject_and_integrate(stack.readouts);
+  for (auto v : result.flux.pixels()) EXPECT_NEAR(v, 100.0f, 15.0f);
+  for (auto f : result.cr_flagged.pixels()) EXPECT_EQ(f, 1);
+  EXPECT_GE(result.rejected_differences, 16u);
+}
+
+TEST(CrReject, BeatsNaiveIntegrationUnderCRs) {
+  Rng rng(9);
+  sn::RampParams params;
+  params.cr_probability = 0.3;
+  const auto flux = sn::make_flux_scene(16, 16, rng);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto rejected = sn::reject_and_integrate(stack.readouts);
+  const auto naive = sn::integrate_naive(stack.readouts);
+  const double err_rejected = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), rejected.flux.pixels());
+  const double err_naive = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), naive.pixels());
+  EXPECT_LT(err_rejected, err_naive / 2.0);
+}
+
+TEST(CrRejectSegmented, ValidatesFrameCount) {
+  spacefts::common::TemporalStack<std::uint16_t> two(2, 2, 2);
+  EXPECT_THROW((void)sn::reject_segmented(two), std::invalid_argument);
+}
+
+TEST(CrRejectSegmented, RecoversFluxOnCleanRamp) {
+  Rng rng(11);
+  sn::RampParams params;
+  params.cr_probability = 0.0;
+  const Image<float> flux(8, 8, 140.0f);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto result = sn::reject_segmented(stack.readouts);
+  for (auto v : result.flux.pixels()) EXPECT_NEAR(v, 140.0f, 6.0f);
+  EXPECT_EQ(result.rejected_differences, 0u);
+}
+
+TEST(CrRejectSegmented, SplitsAtTheJumpAndRecovers) {
+  Rng rng(12);
+  sn::RampParams params;
+  params.cr_probability = 1.0;
+  params.cr_amp_min = params.cr_amp_max = 9000.0;
+  const Image<float> flux(4, 4, 90.0f);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto result = sn::reject_segmented(stack.readouts);
+  for (auto v : result.flux.pixels()) EXPECT_NEAR(v, 90.0f, 12.0f);
+  for (auto f : result.cr_flagged.pixels()) EXPECT_EQ(f, 1);
+}
+
+TEST(CrRejectSegmented, MoreEfficientThanDifferenceAveragingOnNoisyRamps) {
+  // Least-squares per segment uses the full ramp information; on clean but
+  // noisy ramps its error should be at most the difference-average's.
+  Rng rng(13);
+  sn::RampParams params;
+  params.cr_probability = 0.0;
+  params.read_noise = 40.0;
+  const auto flux = sn::make_flux_scene(16, 16, rng);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto segmented = sn::reject_segmented(stack.readouts);
+  const auto averaged = sn::reject_and_integrate(stack.readouts);
+  const double err_seg = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), segmented.flux.pixels());
+  const double err_avg = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), averaged.flux.pixels());
+  EXPECT_LT(err_seg, err_avg * 1.05);
+}
+
+TEST(CrRejectSegmented, BeatsNaiveUnderCRs) {
+  Rng rng(14);
+  sn::RampParams params;
+  params.cr_probability = 0.3;
+  const auto flux = sn::make_flux_scene(16, 16, rng);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto segmented = sn::reject_segmented(stack.readouts);
+  const auto naive = sn::integrate_naive(stack.readouts);
+  const double err_seg = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), segmented.flux.pixels());
+  const double err_naive = spacefts::metrics::rms_error<float>(
+      stack.true_flux.pixels(), naive.pixels());
+  EXPECT_LT(err_seg, err_naive / 2.0);
+}
+
+TEST(CrReject, NaiveMatchesRejectorOnCleanData) {
+  Rng rng(10);
+  sn::RampParams params;
+  params.cr_probability = 0.0;
+  params.read_noise = 0.0;
+  const Image<float> flux(4, 4, 75.0f);
+  const auto stack = sn::make_ramp_stack(flux, params, rng);
+  const auto rejected = sn::reject_and_integrate(stack.readouts);
+  const auto naive = sn::integrate_naive(stack.readouts);
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_NEAR(rejected.flux.pixels()[i], naive.pixels()[i], 1.0f);
+  }
+}

@@ -1,0 +1,232 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// across sweeps of seeds, sensitivities, fault rates, and dataset shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/random.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/sensitivity.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/fault/models.hpp"
+#include "spacefts/metrics/error.hpp"
+#include "spacefts/rice/rice.hpp"
+#include "spacefts/smoothing/temporal.hpp"
+
+namespace sc = spacefts::core;
+namespace sd = spacefts::datagen;
+namespace sf = spacefts::fault;
+namespace sm = spacefts::metrics;
+using spacefts::common::Rng;
+
+// ------------------------------------------------- Rice roundtrip over seeds
+
+class RiceRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiceRoundtrip, RandomWalksSurvive) {
+  Rng rng(GetParam());
+  std::vector<std::uint16_t> data(1000 + rng.below(1000));
+  double level = rng.uniform(0.0, 65535.0);
+  for (auto& v : data) {
+    level += rng.gaussian(0.0, rng.uniform(1.0, 500.0));
+    v = sd::clamp_pixel(level);
+  }
+  const auto compressed = spacefts::rice::compress16(data);
+  EXPECT_EQ(spacefts::rice::decompress16(compressed, data.size()), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiceRoundtrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ------------------------------------- fault-mask replay equals direct damage
+
+class FaultReplay : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultReplay, MaskIsExactGroundTruth) {
+  // corrected + missed == injected must hold for every algorithm because
+  // the mask is the authoritative record of what was damaged.
+  Rng rng(77);
+  sd::NgstSimulator sim(78);
+  const auto pristine = sim.sequence(64, 27000.0, 250.0);
+  const sf::UncorrelatedFaultModel model(GetParam());
+  const auto mask = model.mask16(pristine.size(), rng);
+  auto corrupted = pristine;
+  sf::apply_mask<std::uint16_t>(corrupted, mask);
+
+  EXPECT_EQ(
+      spacefts::common::hamming_distance<std::uint16_t>(pristine, corrupted),
+      sf::count_faults<std::uint16_t>(mask));
+
+  auto repaired = corrupted;
+  const sc::AlgoNgst algo;
+  (void)algo.preprocess(repaired);
+  const auto stats =
+      sm::correction_stats<std::uint16_t>(pristine, corrupted, repaired);
+  EXPECT_EQ(stats.corrected + stats.missed, stats.injected);
+  EXPECT_EQ(stats.injected, sf::count_faults<std::uint16_t>(mask));
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, FaultReplay,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.05, 0.2));
+
+// ------------------------------------------- Algo_NGST invariants over sweeps
+
+struct NgstSweepParam {
+  std::uint64_t seed;
+  double sigma;
+  std::size_t upsilon;
+  double lambda;
+};
+
+class AlgoNgstSweep : public ::testing::TestWithParam<NgstSweepParam> {};
+
+TEST_P(AlgoNgstSweep, WindowCIsNeverTouched) {
+  // No bit below the reported LSB mask may ever change — window C is
+  // masked off by construction, at every parameter combination.
+  const auto p = GetParam();
+  sd::NgstSimulator sim(p.seed);
+  Rng fault_rng(p.seed ^ 0xDEADBEEF);
+  auto series = sim.sequence(64, 27000.0, p.sigma);
+  const sf::UncorrelatedFaultModel model(0.02);
+  const auto mask = model.mask16(series.size(), fault_rng);
+  sf::apply_mask<std::uint16_t>(series, mask);
+  const auto before = series;
+
+  sc::AlgoNgstConfig config;
+  config.upsilon = p.upsilon;
+  config.lambda = p.lambda;
+  const sc::AlgoNgst algo(config);
+  const auto report = algo.preprocess(series);
+
+  const auto window_c = static_cast<std::uint16_t>(~report.lsb_mask);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_EQ(series[i] & window_c, before[i] & window_c) << "pixel " << i;
+  }
+}
+
+TEST_P(AlgoNgstSweep, BitSerialEquivalence) {
+  const auto p = GetParam();
+  sd::NgstSimulator sim(p.seed + 1000);
+  Rng fault_rng(p.seed ^ 0xABCD);
+  auto a = sim.sequence(64, 27000.0, p.sigma);
+  const sf::UncorrelatedFaultModel model(0.03);
+  const auto mask = model.mask16(a.size(), fault_rng);
+  sf::apply_mask<std::uint16_t>(a, mask);
+  auto b = a;
+
+  sc::AlgoNgstConfig config;
+  config.upsilon = p.upsilon;
+  config.lambda = p.lambda;
+  const sc::AlgoNgst algo(config);
+  (void)algo.preprocess(a);
+  (void)algo.preprocess_bitserial(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(AlgoNgstSweep, IdempotentOnItsOwnOutput) {
+  // Preprocessing an already preprocessed dataset must change little: the
+  // second pass sees data the first pass already declared conforming.
+  const auto p = GetParam();
+  sd::NgstSimulator sim(p.seed + 2000);
+  Rng fault_rng(p.seed ^ 0x1234);
+  auto series = sim.sequence(64, 27000.0, p.sigma);
+  const sf::UncorrelatedFaultModel model(0.02);
+  const auto mask = model.mask16(series.size(), fault_rng);
+  sf::apply_mask<std::uint16_t>(series, mask);
+
+  sc::AlgoNgstConfig config;
+  config.upsilon = p.upsilon;
+  config.lambda = p.lambda;
+  const sc::AlgoNgst algo(config);
+  (void)algo.preprocess(series);
+  const auto once = series;
+  const auto report = algo.preprocess(series);
+  // Allow a small echo (thresholds re-derive from modified data) but not a
+  // cascade: under 1/16 of the dataset's bits.
+  EXPECT_LE(report.bits_corrected, 64u);
+  EXPECT_LE(spacefts::common::hamming_distance<std::uint16_t>(once, series),
+            64u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlgoNgstSweep,
+    ::testing::Values(NgstSweepParam{1, 0.0, 2, 50.0},
+                      NgstSweepParam{2, 0.0, 4, 80.0},
+                      NgstSweepParam{3, 25.0, 4, 80.0},
+                      NgstSweepParam{4, 250.0, 2, 20.0},
+                      NgstSweepParam{5, 250.0, 4, 50.0},
+                      NgstSweepParam{6, 250.0, 4, 80.0},
+                      NgstSweepParam{7, 250.0, 6, 80.0},
+                      NgstSweepParam{8, 250.0, 4, 100.0},
+                      NgstSweepParam{9, 8000.0, 4, 80.0},
+                      NgstSweepParam{10, 8000.0, 6, 100.0}),
+    [](const ::testing::TestParamInfo<NgstSweepParam>& info) {
+      const auto& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_sigma" +
+             std::to_string(static_cast<int>(p.sigma)) + "_u" +
+             std::to_string(p.upsilon) + "_lambda" +
+             std::to_string(static_cast<int>(p.lambda));
+    });
+
+// ------------------------------------------------ smoothing shape invariants
+
+class SmoothingWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SmoothingWidth, MedianOutputValuesComeFromTheInput) {
+  // A median filter can only ever emit values present in its window.
+  Rng rng(5);
+  std::vector<std::uint16_t> data(64);
+  for (auto& v : data) v = static_cast<std::uint16_t>(rng.below(65536));
+  std::vector<std::uint16_t> sorted_input = data;
+  auto smoothed = data;
+  spacefts::smoothing::median_smooth(smoothed, GetParam());
+  for (auto v : smoothed) {
+    EXPECT_NE(std::find(sorted_input.begin(), sorted_input.end(), v),
+              sorted_input.end());
+  }
+}
+
+TEST_P(SmoothingWidth, MedianPreservesConstantData) {
+  std::vector<std::uint16_t> data(64, 4242);
+  spacefts::smoothing::median_smooth(data, GetParam());
+  for (auto v : data) EXPECT_EQ(v, 4242u);
+}
+
+TEST_P(SmoothingWidth, BitVotePreservesConstantData) {
+  std::vector<std::uint16_t> data(64, 0xA5A5);
+  spacefts::smoothing::majority_bit_vote(data, GetParam());
+  for (auto v : data) EXPECT_EQ(v, 0xA5A5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SmoothingWidth,
+                         ::testing::Values(3, 5, 7, 9));
+
+// --------------------------------------------- sensitivity/threshold lattice
+
+class SensitivityLattice : public ::testing::TestWithParam<double> {};
+
+TEST_P(SensitivityLattice, HigherLambdaNeverShrinksTheCorrectionWindow) {
+  // As Λ rises the LSB mask can only extend downward (window B widens).
+  const double lambda = GetParam();
+  sd::NgstSimulator sim(31);
+  const auto series = sim.sequence(64, 27000.0, 250.0);
+  sc::AlgoNgstConfig lo_cfg;
+  lo_cfg.lambda = lambda;
+  sc::AlgoNgstConfig hi_cfg;
+  hi_cfg.lambda = std::min(lambda + 20.0, 100.0);
+
+  auto a = series;
+  auto b = series;
+  const auto lo = sc::AlgoNgst(lo_cfg).preprocess(a);
+  const auto hi = sc::AlgoNgst(hi_cfg).preprocess(b);
+  // Every bit eligible at low Λ stays eligible at higher Λ.
+  EXPECT_EQ(lo.lsb_mask & hi.lsb_mask, lo.lsb_mask);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, SensitivityLattice,
+                         ::testing::Values(10.0, 30.0, 50.0, 70.0, 80.0));

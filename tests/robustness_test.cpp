@@ -1,0 +1,224 @@
+// Robustness tier: hostile and degenerate inputs.  Radiation does not
+// respect file formats — every parser and algorithm must fail *closed*
+// (typed error or reported failure), never crash or corrupt memory.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/random.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/dist/sim.hpp"
+#include "spacefts/fits/fits.hpp"
+#include "spacefts/fits/sanity.hpp"
+#include "spacefts/ingest/guard.hpp"
+#include "spacefts/otis/retrieval.hpp"
+#include "spacefts/rice/bitstream.hpp"
+#include "spacefts/rice/rice.hpp"
+
+using spacefts::common::Rng;
+
+// ------------------------------------------------------------- FITS hostility
+
+class FitsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FitsFuzz, RandomBytesNeverCrashTheParser) {
+  Rng rng(GetParam());
+  const std::size_t size = 64 + rng.below(8192);
+  std::vector<std::uint8_t> bytes(size);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  try {
+    const auto file = spacefts::fits::FitsFile::parse(bytes);
+    // If it "parsed", the HDUs must at least be self-consistent enough to
+    // serialize again.
+    (void)file.serialize();
+  } catch (const spacefts::fits::FitsError&) {
+    // Typed failure is the expected outcome.
+  }
+}
+
+TEST_P(FitsFuzz, BitFlippedContainersFailClosed) {
+  // Start from a valid container and flip a sprinkling of random bits
+  // anywhere — headers included.
+  Rng rng(GetParam() ^ 0xF1F2);
+  spacefts::datagen::NgstSimulator sim(GetParam());
+  spacefts::datagen::SceneParams scene;
+  scene.width = 8;
+  scene.height = 8;
+  auto bytes = spacefts::ingest::IngestGuard::pack(sim.stack(8, scene));
+  const std::size_t flips = 1 + rng.below(64);
+  for (std::size_t i = 0; i < flips; ++i) {
+    bytes[rng.below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+  try {
+    auto file = spacefts::fits::FitsFile::parse(bytes);
+    for (auto& hdu : file.hdus()) {
+      (void)spacefts::fits::check_and_repair(hdu);
+      try {
+        (void)spacefts::fits::read_image_u16(hdu);
+      } catch (const spacefts::fits::FitsError&) {
+      }
+    }
+  } catch (const spacefts::fits::FitsError&) {
+  }
+}
+
+TEST_P(FitsFuzz, IngestGuardNeverThrowsOnHostileInput) {
+  Rng rng(GetParam() ^ 0xABCD);
+  std::vector<std::uint8_t> bytes(512 + rng.below(16384));
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.below(256));
+  spacefts::ingest::IngestConfig config;
+  config.expectation.bitpix = 16;
+  const spacefts::ingest::IngestGuard guard(config);
+  const auto result = guard.ingest(bytes);  // must not throw
+  if (!result.ok) {
+    EXPECT_FALSE(result.error.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitsFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110, 121, 132));
+
+TEST(FitsHostility, CardDecodeHandlesAllByteValues) {
+  for (int byte = 0; byte < 256; ++byte) {
+    const std::string raw(80, static_cast<char>(byte));
+    EXPECT_NO_THROW((void)spacefts::fits::Card::decode(raw));
+  }
+}
+
+TEST(FitsHostility, HeaderParseOnTruncatedBlock) {
+  spacefts::fits::Header h;
+  h.set_logical("SIMPLE", true);
+  auto bytes = h.serialize();
+  bytes.resize(100);  // cut inside the second card, before END
+  std::size_t offset = 0;
+  EXPECT_THROW((void)spacefts::fits::Header::parse(bytes, offset),
+               spacefts::fits::FitsError);
+}
+
+// ------------------------------------------------------------- Rice hostility
+
+class RiceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RiceFuzz, RandomStreamsFailClosed) {
+  Rng rng(GetParam());
+  std::vector<std::uint8_t> stream(1 + rng.below(4096));
+  for (auto& b : stream) b = static_cast<std::uint8_t>(rng.below(256));
+  try {
+    const auto decoded = spacefts::rice::decompress16(stream, 1024);
+    EXPECT_EQ(decoded.size(), 1024u);  // garbage values, but well-formed
+  } catch (const spacefts::rice::BitstreamError&) {
+  }
+}
+
+TEST_P(RiceFuzz, CorruptedValidStreamsFailClosed) {
+  Rng rng(GetParam() ^ 0x51CE);
+  std::vector<std::uint16_t> data(512);
+  for (auto& v : data) v = static_cast<std::uint16_t>(rng.below(65536));
+  auto stream = spacefts::rice::compress16(data);
+  for (int i = 0; i < 8; ++i) {
+    stream[rng.below(stream.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+  try {
+    (void)spacefts::rice::decompress16(stream, data.size());
+  } catch (const spacefts::rice::BitstreamError&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RiceFuzz,
+                         ::testing::Values(3, 14, 15, 92, 65, 35, 89, 79));
+
+// -------------------------------------------------------- algorithm extremes
+
+TEST(AlgorithmExtremes, AlgoNgstOnDegenerateSeries) {
+  const spacefts::core::AlgoNgst algo;
+  for (auto make : {+[] { return std::vector<std::uint16_t>(64, 0); },
+                    +[] { return std::vector<std::uint16_t>(64, 0xFFFF); },
+                    +[] {
+                      std::vector<std::uint16_t> alternating(64);
+                      for (std::size_t i = 0; i < 64; ++i) {
+                        alternating[i] = i % 2 ? 0xFFFF : 0x0000;
+                      }
+                      return alternating;
+                    }}) {
+    auto series = make();
+    const auto report = algo.preprocess(series);
+    EXPECT_EQ(report.pixels_examined, 64u);
+  }
+}
+
+TEST(AlgorithmExtremes, AlgoNgstOnRandomNoise) {
+  // Pure noise has no locality to exploit; the algorithm may do anything
+  // bounded but must not blow up, and on average cannot make pure noise
+  // much "worse" than noise.
+  Rng rng(5);
+  const spacefts::core::AlgoNgst algo;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint16_t> series(64);
+    for (auto& v : series) v = static_cast<std::uint16_t>(rng.below(65536));
+    EXPECT_NO_THROW((void)algo.preprocess(series));
+  }
+}
+
+TEST(AlgorithmExtremes, AlgoOtisOnAllNaNPlane) {
+  const spacefts::core::AlgoOtis algo;
+  spacefts::common::Image<float> plane(8, 8,
+                                       std::numeric_limits<float>::quiet_NaN());
+  EXPECT_NO_THROW((void)algo.preprocess_plane(plane, 10.0));
+}
+
+TEST(AlgorithmExtremes, AlgoOtisOnInfinitePlane) {
+  const spacefts::core::AlgoOtis algo;
+  spacefts::common::Image<float> plane(8, 8,
+                                       std::numeric_limits<float>::infinity());
+  EXPECT_NO_THROW((void)algo.preprocess_plane(plane, 10.0));
+}
+
+TEST(AlgorithmExtremes, RetrievalOnGarbageCube) {
+  Rng rng(6);
+  spacefts::common::Cube<float> cube(4, 4, 8);
+  for (auto& v : cube.voxels()) {
+    v = spacefts::common::bits_to_float(
+        static_cast<std::uint32_t>(rng() & 0xFFFFFFFFu));
+  }
+  const auto grid = spacefts::otis::standard_band_grid();
+  EXPECT_NO_THROW((void)spacefts::otis::retrieve(cube, grid));
+}
+
+// ----------------------------------------------------------- simulator stress
+
+TEST(SimulatorStress, TenThousandRandomEvents) {
+  spacefts::dist::Simulator sim;
+  Rng rng(7);
+  double last_seen = -1.0;
+  std::size_t executed = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double at = rng.uniform(0.0, 1000.0);
+    sim.schedule(at, [&, at] {
+      EXPECT_GE(at, last_seen);
+      last_seen = at;
+      ++executed;
+    });
+  }
+  sim.run();
+  EXPECT_EQ(executed, 10000u);
+}
+
+TEST(SimulatorStress, CascadingEventsTerminate) {
+  spacefts::dist::Simulator sim;
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    if (++depth < 1000) sim.schedule_after(0.001, cascade);
+  };
+  sim.schedule(0.0, cascade);
+  sim.run();
+  EXPECT_EQ(depth, 1000);
+  EXPECT_EQ(sim.events_executed(), 1000u);
+}
