@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_cr_reject.cpp" "bench_build/CMakeFiles/ablation_cr_reject.dir/ablation_cr_reject.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_cr_reject.dir/ablation_cr_reject.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/spacefts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ngst/CMakeFiles/spacefts_ngst.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/spacefts_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/spacefts_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/otis/CMakeFiles/spacefts_otis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cr_reject"
+  "../bench/ablation_cr_reject.pdb"
+  "CMakeFiles/ablation_cr_reject.dir/ablation_cr_reject.cpp.o"
+  "CMakeFiles/ablation_cr_reject.dir/ablation_cr_reject.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cr_reject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

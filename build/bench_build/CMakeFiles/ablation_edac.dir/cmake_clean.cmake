@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_edac"
+  "../bench/ablation_edac.pdb"
+  "CMakeFiles/ablation_edac.dir/ablation_edac.cpp.o"
+  "CMakeFiles/ablation_edac.dir/ablation_edac.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_edac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

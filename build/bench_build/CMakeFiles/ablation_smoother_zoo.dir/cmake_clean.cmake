@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_smoother_zoo"
+  "../bench/ablation_smoother_zoo.pdb"
+  "CMakeFiles/ablation_smoother_zoo.dir/ablation_smoother_zoo.cpp.o"
+  "CMakeFiles/ablation_smoother_zoo.dir/ablation_smoother_zoo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smoother_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_ngst_uncorrelated"
+  "../bench/fig2_ngst_uncorrelated.pdb"
+  "CMakeFiles/fig2_ngst_uncorrelated.dir/fig2_ngst_uncorrelated.cpp.o"
+  "CMakeFiles/fig2_ngst_uncorrelated.dir/fig2_ngst_uncorrelated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ngst_uncorrelated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_ngst_correlated"
+  "../bench/fig4_ngst_correlated.pdb"
+  "CMakeFiles/fig4_ngst_correlated.dir/fig4_ngst_correlated.cpp.o"
+  "CMakeFiles/fig4_ngst_correlated.dir/fig4_ngst_correlated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ngst_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_gamut"
+  "../bench/fig5_gamut.pdb"
+  "CMakeFiles/fig5_gamut.dir/fig5_gamut.cpp.o"
+  "CMakeFiles/fig5_gamut.dir/fig5_gamut.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gamut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_sigma_upsilon"
+  "../bench/fig6_sigma_upsilon.pdb"
+  "CMakeFiles/fig6_sigma_upsilon.dir/fig6_sigma_upsilon.cpp.o"
+  "CMakeFiles/fig6_sigma_upsilon.dir/fig6_sigma_upsilon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sigma_upsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_otis_uncorrelated"
+  "../bench/fig8_otis_uncorrelated.pdb"
+  "CMakeFiles/fig8_otis_uncorrelated.dir/fig8_otis_uncorrelated.cpp.o"
+  "CMakeFiles/fig8_otis_uncorrelated.dir/fig8_otis_uncorrelated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_otis_uncorrelated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_otis_correlated"
+  "../bench/fig9_otis_correlated.pdb"
+  "CMakeFiles/fig9_otis_correlated.dir/fig9_otis_correlated.cpp.o"
+  "CMakeFiles/fig9_otis_correlated.dir/fig9_otis_correlated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_otis_correlated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngst_pipeline.dir/ngst_pipeline.cpp.o"
+  "CMakeFiles/ngst_pipeline.dir/ngst_pipeline.cpp.o.d"
+  "ngst_pipeline"
+  "ngst_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngst_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

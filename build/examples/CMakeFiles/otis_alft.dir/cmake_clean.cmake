@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otis_alft.dir/otis_alft.cpp.o"
+  "CMakeFiles/otis_alft.dir/otis_alft.cpp.o.d"
+  "otis_alft"
+  "otis_alft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otis_alft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

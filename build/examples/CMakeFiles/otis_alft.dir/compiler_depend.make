@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for otis_alft.
+# This may be replaced when dependencies are built.

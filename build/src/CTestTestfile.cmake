@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("metrics")
+subdirs("fault")
+subdirs("otis")
+subdirs("datagen")
+subdirs("fits")
+subdirs("rice")
+subdirs("smoothing")
+subdirs("core")
+subdirs("ngst")
+subdirs("alft")
+subdirs("dist")
+subdirs("downlink")
+subdirs("edac")
+subdirs("ingest")

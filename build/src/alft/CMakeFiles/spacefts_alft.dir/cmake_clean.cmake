@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_alft.dir/alft.cpp.o"
+  "CMakeFiles/spacefts_alft.dir/alft.cpp.o.d"
+  "libspacefts_alft.a"
+  "libspacefts_alft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_alft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

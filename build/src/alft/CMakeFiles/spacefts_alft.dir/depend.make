@@ -1,0 +1,2 @@
+# Empty dependencies file for spacefts_alft.
+# This may be replaced when dependencies are built.

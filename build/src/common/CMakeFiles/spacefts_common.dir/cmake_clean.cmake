@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_common.dir/random.cpp.o"
+  "CMakeFiles/spacefts_common.dir/random.cpp.o.d"
+  "CMakeFiles/spacefts_common.dir/stats.cpp.o"
+  "CMakeFiles/spacefts_common.dir/stats.cpp.o.d"
+  "libspacefts_common.a"
+  "libspacefts_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algo_ngst.cpp" "src/core/CMakeFiles/spacefts_core.dir/algo_ngst.cpp.o" "gcc" "src/core/CMakeFiles/spacefts_core.dir/algo_ngst.cpp.o.d"
+  "/root/repo/src/core/algo_otis.cpp" "src/core/CMakeFiles/spacefts_core.dir/algo_otis.cpp.o" "gcc" "src/core/CMakeFiles/spacefts_core.dir/algo_otis.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/spacefts_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/spacefts_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/voter_matrix.cpp" "src/core/CMakeFiles/spacefts_core.dir/voter_matrix.cpp.o" "gcc" "src/core/CMakeFiles/spacefts_core.dir/voter_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/otis/CMakeFiles/spacefts_otis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_core.dir/algo_ngst.cpp.o"
+  "CMakeFiles/spacefts_core.dir/algo_ngst.cpp.o.d"
+  "CMakeFiles/spacefts_core.dir/algo_otis.cpp.o"
+  "CMakeFiles/spacefts_core.dir/algo_otis.cpp.o.d"
+  "CMakeFiles/spacefts_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/spacefts_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/spacefts_core.dir/voter_matrix.cpp.o"
+  "CMakeFiles/spacefts_core.dir/voter_matrix.cpp.o.d"
+  "libspacefts_core.a"
+  "libspacefts_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

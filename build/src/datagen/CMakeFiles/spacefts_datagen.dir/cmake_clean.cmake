@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_datagen.dir/ngst.cpp.o"
+  "CMakeFiles/spacefts_datagen.dir/ngst.cpp.o.d"
+  "CMakeFiles/spacefts_datagen.dir/otis_scenes.cpp.o"
+  "CMakeFiles/spacefts_datagen.dir/otis_scenes.cpp.o.d"
+  "libspacefts_datagen.a"
+  "libspacefts_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_dist.dir/pipeline.cpp.o"
+  "CMakeFiles/spacefts_dist.dir/pipeline.cpp.o.d"
+  "CMakeFiles/spacefts_dist.dir/sim.cpp.o"
+  "CMakeFiles/spacefts_dist.dir/sim.cpp.o.d"
+  "libspacefts_dist.a"
+  "libspacefts_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_downlink.dir/compressed_hdu.cpp.o"
+  "CMakeFiles/spacefts_downlink.dir/compressed_hdu.cpp.o.d"
+  "libspacefts_downlink.a"
+  "libspacefts_downlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_downlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

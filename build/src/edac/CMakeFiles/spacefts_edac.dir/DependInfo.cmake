@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edac/hamming.cpp" "src/edac/CMakeFiles/spacefts_edac.dir/hamming.cpp.o" "gcc" "src/edac/CMakeFiles/spacefts_edac.dir/hamming.cpp.o.d"
+  "/root/repo/src/edac/protected_memory.cpp" "src/edac/CMakeFiles/spacefts_edac.dir/protected_memory.cpp.o" "gcc" "src/edac/CMakeFiles/spacefts_edac.dir/protected_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

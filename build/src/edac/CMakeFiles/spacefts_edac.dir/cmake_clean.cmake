@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_edac.dir/hamming.cpp.o"
+  "CMakeFiles/spacefts_edac.dir/hamming.cpp.o.d"
+  "CMakeFiles/spacefts_edac.dir/protected_memory.cpp.o"
+  "CMakeFiles/spacefts_edac.dir/protected_memory.cpp.o.d"
+  "libspacefts_edac.a"
+  "libspacefts_edac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_edac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

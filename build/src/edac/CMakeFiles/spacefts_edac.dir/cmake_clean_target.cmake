@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspacefts_edac.a"
+)

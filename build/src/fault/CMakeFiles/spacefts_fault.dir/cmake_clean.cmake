@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_fault.dir/models.cpp.o"
+  "CMakeFiles/spacefts_fault.dir/models.cpp.o.d"
+  "libspacefts_fault.a"
+  "libspacefts_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fits/fits.cpp" "src/fits/CMakeFiles/spacefts_fits.dir/fits.cpp.o" "gcc" "src/fits/CMakeFiles/spacefts_fits.dir/fits.cpp.o.d"
+  "/root/repo/src/fits/io.cpp" "src/fits/CMakeFiles/spacefts_fits.dir/io.cpp.o" "gcc" "src/fits/CMakeFiles/spacefts_fits.dir/io.cpp.o.d"
+  "/root/repo/src/fits/sanity.cpp" "src/fits/CMakeFiles/spacefts_fits.dir/sanity.cpp.o" "gcc" "src/fits/CMakeFiles/spacefts_fits.dir/sanity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

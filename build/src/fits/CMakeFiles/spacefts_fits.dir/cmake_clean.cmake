@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_fits.dir/fits.cpp.o"
+  "CMakeFiles/spacefts_fits.dir/fits.cpp.o.d"
+  "CMakeFiles/spacefts_fits.dir/io.cpp.o"
+  "CMakeFiles/spacefts_fits.dir/io.cpp.o.d"
+  "CMakeFiles/spacefts_fits.dir/sanity.cpp.o"
+  "CMakeFiles/spacefts_fits.dir/sanity.cpp.o.d"
+  "libspacefts_fits.a"
+  "libspacefts_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

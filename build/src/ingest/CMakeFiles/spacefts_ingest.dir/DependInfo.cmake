@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ingest/guard.cpp" "src/ingest/CMakeFiles/spacefts_ingest.dir/guard.cpp.o" "gcc" "src/ingest/CMakeFiles/spacefts_ingest.dir/guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fits/CMakeFiles/spacefts_fits.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spacefts_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/otis/CMakeFiles/spacefts_otis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_ingest.dir/guard.cpp.o"
+  "CMakeFiles/spacefts_ingest.dir/guard.cpp.o.d"
+  "libspacefts_ingest.a"
+  "libspacefts_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

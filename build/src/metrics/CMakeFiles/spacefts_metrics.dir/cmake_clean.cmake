@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_metrics.dir/error.cpp.o"
+  "CMakeFiles/spacefts_metrics.dir/error.cpp.o.d"
+  "libspacefts_metrics.a"
+  "libspacefts_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

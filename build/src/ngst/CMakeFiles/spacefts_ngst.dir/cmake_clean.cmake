@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_ngst.dir/cr_reject.cpp.o"
+  "CMakeFiles/spacefts_ngst.dir/cr_reject.cpp.o.d"
+  "CMakeFiles/spacefts_ngst.dir/readout.cpp.o"
+  "CMakeFiles/spacefts_ngst.dir/readout.cpp.o.d"
+  "libspacefts_ngst.a"
+  "libspacefts_ngst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_ngst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

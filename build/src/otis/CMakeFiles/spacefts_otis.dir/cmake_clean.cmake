@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_otis.dir/bounds.cpp.o"
+  "CMakeFiles/spacefts_otis.dir/bounds.cpp.o.d"
+  "CMakeFiles/spacefts_otis.dir/planck.cpp.o"
+  "CMakeFiles/spacefts_otis.dir/planck.cpp.o.d"
+  "CMakeFiles/spacefts_otis.dir/retrieval.cpp.o"
+  "CMakeFiles/spacefts_otis.dir/retrieval.cpp.o.d"
+  "libspacefts_otis.a"
+  "libspacefts_otis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_otis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_rice.dir/bitstream.cpp.o"
+  "CMakeFiles/spacefts_rice.dir/bitstream.cpp.o.d"
+  "CMakeFiles/spacefts_rice.dir/rice.cpp.o"
+  "CMakeFiles/spacefts_rice.dir/rice.cpp.o.d"
+  "libspacefts_rice.a"
+  "libspacefts_rice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_rice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smoothing/regression.cpp" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/regression.cpp.o" "gcc" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/regression.cpp.o.d"
+  "/root/repo/src/smoothing/spatial.cpp" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/spatial.cpp.o" "gcc" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/spatial.cpp.o.d"
+  "/root/repo/src/smoothing/temporal.cpp" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/temporal.cpp.o" "gcc" "src/smoothing/CMakeFiles/spacefts_smoothing.dir/temporal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_smoothing.dir/regression.cpp.o"
+  "CMakeFiles/spacefts_smoothing.dir/regression.cpp.o.d"
+  "CMakeFiles/spacefts_smoothing.dir/spatial.cpp.o"
+  "CMakeFiles/spacefts_smoothing.dir/spatial.cpp.o.d"
+  "CMakeFiles/spacefts_smoothing.dir/temporal.cpp.o"
+  "CMakeFiles/spacefts_smoothing.dir/temporal.cpp.o.d"
+  "libspacefts_smoothing.a"
+  "libspacefts_smoothing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_smoothing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

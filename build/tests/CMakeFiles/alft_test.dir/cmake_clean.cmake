@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alft_test.dir/alft_test.cpp.o"
+  "CMakeFiles/alft_test.dir/alft_test.cpp.o.d"
+  "alft_test"
+  "alft_test.pdb"
+  "alft_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alft_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_ngst_test.dir/algo_ngst_test.cpp.o"
+  "CMakeFiles/algo_ngst_test.dir/algo_ngst_test.cpp.o.d"
+  "algo_ngst_test"
+  "algo_ngst_test.pdb"
+  "algo_ngst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_ngst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

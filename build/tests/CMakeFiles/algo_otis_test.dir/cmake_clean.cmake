@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_otis_test.dir/algo_otis_test.cpp.o"
+  "CMakeFiles/algo_otis_test.dir/algo_otis_test.cpp.o.d"
+  "algo_otis_test"
+  "algo_otis_test.pdb"
+  "algo_otis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_otis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

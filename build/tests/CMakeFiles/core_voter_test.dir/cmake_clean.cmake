@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_voter_test.dir/core_voter_test.cpp.o"
+  "CMakeFiles/core_voter_test.dir/core_voter_test.cpp.o.d"
+  "core_voter_test"
+  "core_voter_test.pdb"
+  "core_voter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_voter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/downlink_test.cpp" "tests/CMakeFiles/downlink_test.dir/downlink_test.cpp.o" "gcc" "tests/CMakeFiles/downlink_test.dir/downlink_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/downlink/CMakeFiles/spacefts_downlink.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/spacefts_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/fits/CMakeFiles/spacefts_fits.dir/DependInfo.cmake"
+  "/root/repo/build/src/rice/CMakeFiles/spacefts_rice.dir/DependInfo.cmake"
+  "/root/repo/build/src/otis/CMakeFiles/spacefts_otis.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/spacefts_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

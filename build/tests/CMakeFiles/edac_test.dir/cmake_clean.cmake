@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edac_test.dir/edac_test.cpp.o"
+  "CMakeFiles/edac_test.dir/edac_test.cpp.o.d"
+  "edac_test"
+  "edac_test.pdb"
+  "edac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

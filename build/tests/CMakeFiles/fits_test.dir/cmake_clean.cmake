@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fits_test.dir/fits_test.cpp.o"
+  "CMakeFiles/fits_test.dir/fits_test.cpp.o.d"
+  "fits_test"
+  "fits_test.pdb"
+  "fits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

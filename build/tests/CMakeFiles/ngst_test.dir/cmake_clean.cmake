@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ngst_test.dir/ngst_test.cpp.o"
+  "CMakeFiles/ngst_test.dir/ngst_test.cpp.o.d"
+  "ngst_test"
+  "ngst_test.pdb"
+  "ngst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ngst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otis_physics_test.dir/otis_physics_test.cpp.o"
+  "CMakeFiles/otis_physics_test.dir/otis_physics_test.cpp.o.d"
+  "otis_physics_test"
+  "otis_physics_test.pdb"
+  "otis_physics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otis_physics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/fits_test[1]_include.cmake")
+include("/root/repo/build/tests/rice_test[1]_include.cmake")
+include("/root/repo/build/tests/smoothing_test[1]_include.cmake")
+include("/root/repo/build/tests/otis_physics_test[1]_include.cmake")
+include("/root/repo/build/tests/core_voter_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_ngst_test[1]_include.cmake")
+include("/root/repo/build/tests/algo_otis_test[1]_include.cmake")
+include("/root/repo/build/tests/ngst_test[1]_include.cmake")
+include("/root/repo/build/tests/alft_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/downlink_test[1]_include.cmake")
+include("/root/repo/build/tests/ingest_test[1]_include.cmake")
+include("/root/repo/build/tests/edac_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spacefts_cli.dir/spacefts_cli.cpp.o"
+  "CMakeFiles/spacefts_cli.dir/spacefts_cli.cpp.o.d"
+  "spacefts_cli"
+  "spacefts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spacefts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
