@@ -98,6 +98,26 @@ inline std::vector<double> measure_psi(
   return psi;
 }
 
+/// Appends one JSON-lines record of stack-preprocessing throughput to
+/// \p path (default: BENCH_preprocess.json in the working directory), so
+/// successive bench runs accumulate a machine-readable history:
+///   {"bench": "stack_preprocess", "pixels_per_s": …, "threads": …,
+///    "upsilon": …, "lambda": …}
+inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
+                                     std::size_t upsilon, double lambda,
+                                     const char* path = "BENCH_preprocess.json") {
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot append to %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\": \"stack_preprocess\", \"pixels_per_s\": %.6g, "
+               "\"threads\": %zu, \"upsilon\": %zu, \"lambda\": %g}\n",
+               pixels_per_s, threads, upsilon, lambda);
+  std::fclose(f);
+}
+
 /// Prints a table header: the x-label followed by one column per algorithm.
 inline void print_header(const char* x_label,
                          const std::vector<TemporalAlgorithm>& roster) {

@@ -41,6 +41,33 @@ void BM_AlgoNgstAtLambda(benchmark::State& state) {
   state.SetLabel("lambda=" + std::to_string(state.range(0)));
 }
 
+/// Not a paper series: the production stack path at several worker-lane
+/// counts, so one run of this harness also shows how the Λ-dependent
+/// overhead amortises across cores.  Output is bit-identical to the serial
+/// sweep at every lane count.
+void BM_AlgoNgstStackThreaded(benchmark::State& state) {
+  spacefts::core::AlgoNgstConfig config;
+  config.lambda = 80.0;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  const spacefts::core::AlgoNgst algo(config);
+  spacefts::datagen::NgstSimulator sim(0xF164);
+  spacefts::datagen::SceneParams scene;
+  scene.width = 64;
+  scene.height = 64;
+  auto stack = sim.stack(8, scene);
+  spacefts::common::Rng fault_rng(0xF164F164);
+  const auto mask = spacefts::fault::UncorrelatedFaultModel(0.003).mask16(
+      stack.cube().size(), fault_rng);
+  spacefts::fault::apply_mask<std::uint16_t>(stack.cube().voxels(), mask);
+  for (auto _ : state) {
+    auto working = stack;
+    benchmark::DoNotOptimize(algo.preprocess(working));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          64);
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+
 void BM_MedianSmoothing(benchmark::State& state) {
   const auto base = corrupted_series();
   for (auto _ : state) {
@@ -62,6 +89,7 @@ void BM_BitVoting(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_AlgoNgstAtLambda)->Arg(0)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100);
+BENCHMARK(BM_AlgoNgstStackThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_MedianSmoothing);
 BENCHMARK(BM_BitVoting);
 

@@ -6,8 +6,12 @@
 /// bit-serial reference, whose cost model matches the paper's).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/core/algo_otis.hpp"
 #include "spacefts/datagen/ngst.hpp"
@@ -42,6 +46,39 @@ void BM_AlgoNgstWordParallel(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_AlgoNgstWordParallel);
+
+spacefts::common::TemporalStack<std::uint16_t> corrupted_stack(
+    std::size_t side, std::size_t frames) {
+  spacefts::datagen::NgstSimulator sim(0xBEEF7);
+  spacefts::datagen::SceneParams scene;
+  scene.width = side;
+  scene.height = side;
+  auto stack = sim.stack(frames, scene);
+  spacefts::common::Rng rng(0xBEEF8);
+  const auto mask = spacefts::fault::UncorrelatedFaultModel(0.003).mask16(
+      stack.cube().size(), rng);
+  spacefts::fault::apply_mask<std::uint16_t>(stack.cube().voxels(), mask);
+  return stack;
+}
+
+/// The production stack path (tile-blocked gather + per-lane scratch) at
+/// 1/2/4/8 worker lanes.  Items = coordinates (time series), so the rate is
+/// directly comparable across thread counts; output is bit-identical for
+/// all of them.
+void BM_AlgoNgstStackPreprocess(benchmark::State& state) {
+  spacefts::core::AlgoNgstConfig config;
+  config.lambda = 50.0;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  const spacefts::core::AlgoNgst algo(config);
+  const auto base = corrupted_stack(128, 8);
+  for (auto _ : state) {
+    auto working = base;
+    benchmark::DoNotOptimize(algo.preprocess(working));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128 *
+                          128);
+}
+BENCHMARK(BM_AlgoNgstStackPreprocess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_AlgoOtisPlane(benchmark::State& state) {
   spacefts::datagen::OtisSceneGenerator gen(0xBEEF3);
@@ -121,6 +158,37 @@ void BM_MedianBaseline(benchmark::State& state) {
 }
 BENCHMARK(BM_MedianBaseline);
 
+/// Times one full 256x256x8 stack preprocess (best of 5) at the given lane
+/// count and appends the result to BENCH_preprocess.json.
+void record_stack_throughput(std::size_t threads) {
+  spacefts::core::AlgoNgstConfig config;
+  config.lambda = 50.0;
+  config.threads = threads;
+  const spacefts::core::AlgoNgst algo(config);
+  const auto base = corrupted_stack(256, 8);
+  double best = 1e100;
+  for (int r = 0; r < 5; ++r) {
+    auto working = base;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)algo.preprocess(working);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  bench::append_preprocess_record(256.0 * 256.0 / best, threads,
+                                  config.upsilon, config.lambda);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const std::size_t hw =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  record_stack_throughput(1);
+  if (hw != 1) record_stack_throughput(2);
+  if (hw > 2) record_stack_throughput(hw);
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// \file parallel.hpp
+/// Fixed-size thread pool and chunked parallel_for for the preprocessing
+/// hot paths.
+///
+/// Design constraints, in order:
+///
+///  1. **Determinism.**  Work is partitioned into chunks whose boundaries
+///     depend only on the problem size, never on the lane count or on
+///     scheduling; chunks are claimed dynamically but carry their index, so
+///     callers can store per-chunk results and reduce them in chunk order.
+///     Any algorithm whose chunks touch disjoint state therefore produces
+///     bit-identical output for every thread count.
+///  2. **Zero steady-state allocation.**  The pool's threads are spawned
+///     once and parked on a condition variable; dispatching a job performs
+///     no per-chunk heap allocation.  Callers keep per-*lane* scratch
+///     (indexed by the lane id handed to the job) so the work items
+///     themselves can run allocation-free.
+///  3. **Graceful degradation.**  A one-lane request, a one-chunk job, a
+///     nested call from inside a pool job, or a pool that is busy serving
+///     another caller all fall back to running inline on the calling
+///     thread — never a deadlock, never a behaviour change.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spacefts::common::parallel {
+
+/// Maps a `threads` configuration knob to a concrete lane count:
+/// 0 = "all hardware threads" (never less than 1), anything else verbatim.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested) noexcept;
+
+/// A fixed-size pool of parked worker threads.  `lanes` counts the calling
+/// thread too: a pool constructed with `lanes == n` spawns `n - 1` workers
+/// and the caller participates as lane 0, so `lanes == 1` is a valid,
+/// thread-free configuration.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t lanes);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes (workers + the caller).
+  [[nodiscard]] std::size_t lanes() const noexcept { return workers_.size() + 1; }
+
+  /// Runs job(chunk, lane) for every chunk in [0, chunks), on at most
+  /// `lanes` lanes (clamped to the pool size), and blocks until every chunk
+  /// completed.  Chunks are claimed dynamically; `lane` is in [0, lanes)
+  /// and is stable for the duration of one chunk, so it can index per-lane
+  /// scratch.  The first exception thrown by a chunk is rethrown here after
+  /// all lanes drain.  Reentrant calls (from inside a job) and calls while
+  /// the pool serves another thread run the chunks inline on the caller.
+  void run(std::size_t chunks, std::size_t lanes,
+           const std::function<void(std::size_t, std::size_t)>& job);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+  void drain(std::size_t lane);
+
+  std::mutex run_mutex_;  ///< serialises concurrent run() callers
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t, std::size_t)>* job_ = nullptr;
+  std::size_t job_chunks_ = 0;
+  std::size_t job_lanes_ = 1;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t workers_running_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool used by the preprocessing algorithms.  Sized to at
+/// least 8 lanes (oversubscribing small hosts) so determinism tests
+/// genuinely exercise multi-threaded execution everywhere.  Constructed on
+/// first use; callers restrict the lane count per run().
+[[nodiscard]] ThreadPool& shared_pool();
+
+/// Splits [0, n) into chunks of `grain` and runs body(begin, end, lane)
+/// over up to `lanes` lanes of the shared pool.  The partition depends only
+/// on n and grain, so per-chunk results are reproducible across lane
+/// counts.  `lanes <= 1` runs inline without touching the pool.
+void parallel_for(std::size_t n, std::size_t grain, std::size_t lanes,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body);
+
+}  // namespace spacefts::common::parallel

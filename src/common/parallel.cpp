@@ -1,0 +1,139 @@
+#include "spacefts/common/parallel.hpp"
+
+#include <algorithm>
+
+namespace spacefts::common::parallel {
+
+namespace {
+
+/// True while this thread is executing a pool job; a nested run() from such
+/// a thread must execute inline (the pool's lanes are already occupied, and
+/// recursing into run_mutex_ from a lane could deadlock against the caller
+/// that holds it).
+thread_local bool t_inside_pool_job = false;
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t lanes) {
+  const std::size_t workers = lanes <= 1 ? 0 : lanes - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(std::size_t lane) {
+  t_inside_pool_job = true;
+  for (;;) {
+    const std::size_t chunk =
+        next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job_chunks_) break;
+    try {
+      (*job_)(chunk, lane);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+  t_inside_pool_job = false;
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    // Only the first job_lanes_ - 1 workers participate; the rest go back
+    // to sleep until the next epoch.
+    if (worker_index + 1 >= job_lanes_) continue;
+    lock.unlock();
+    drain(worker_index + 1);
+    lock.lock();
+    if (--workers_running_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::run(std::size_t chunks, std::size_t lanes,
+                     const std::function<void(std::size_t, std::size_t)>& job) {
+  if (chunks == 0) return;
+  lanes = std::clamp<std::size_t>(lanes, 1, this->lanes());
+  const auto run_inline = [&] {
+    for (std::size_t c = 0; c < chunks; ++c) job(c, 0);
+  };
+  if (lanes == 1 || chunks == 1 || t_inside_pool_job) {
+    run_inline();
+    return;
+  }
+  std::unique_lock<std::mutex> run_lock(run_mutex_, std::try_to_lock);
+  if (!run_lock.owns_lock()) {
+    // Another thread is dispatching through this pool; don't wait — the
+    // chunks are just as correct inline, only less parallel.
+    run_inline();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    job_chunks_ = chunks;
+    job_lanes_ = lanes;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    workers_running_ = lanes - 1;
+    ++epoch_;
+  }
+  start_cv_.notify_all();
+  drain(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    run_lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(
+      std::max<std::size_t>(resolve_threads(0), 8));
+  return pool;
+}
+
+void parallel_for(std::size_t n, std::size_t grain, std::size_t lanes,
+                  const std::function<void(std::size_t, std::size_t,
+                                           std::size_t)>& body) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  if (lanes <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      body(begin, std::min(n, begin + grain), 0);
+    }
+    return;
+  }
+  shared_pool().run(chunks, lanes, [&](std::size_t c, std::size_t lane) {
+    const std::size_t begin = c * grain;
+    body(begin, std::min(n, begin + grain), lane);
+  });
+}
+
+}  // namespace spacefts::common::parallel

@@ -1,11 +1,13 @@
 #include "spacefts/core/algo_ngst.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
 #include "spacefts/common/bitops.hpp"
+#include "spacefts/common/parallel.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 
@@ -22,18 +24,10 @@ AlgoNgst::AlgoNgst(AlgoNgstConfig config) : config_(config) {
 
 namespace {
 
-/// Collects pixel i's surviving voters into \p out (cleared first).
-/// Out-of-range pairings contribute nothing; pruned pairings contribute a
-/// zero, which actively votes against every bit flip.
-void gather_voters(const VoterMatrix<std::uint16_t>& m, std::size_t i,
-                   std::size_t n, std::vector<std::uint16_t>& out) {
-  out.clear();
-  for (std::size_t w = 0; w < m.ways.size(); ++w) {
-    const std::size_t d = m.ways[w].distance;
-    if (i + d < n) out.push_back(m.voter(w, i));      // forward partner i+d
-    if (i >= d) out.push_back(m.voter(w, i - d));     // backward partner i-d
-  }
-}
+/// Width of the coordinate tiles gathered into contiguous scratch by the
+/// stack path: 64 series of 64 readouts are 8 KiB, small enough that the
+/// gather/process/scatter working set stays in L1.
+constexpr std::size_t kTileWidth = 64;
 
 /// Bit-serial equivalent of correction_vector(): walks bit positions from
 /// the window-C boundary upward, tallying votes per bit.  Identical output;
@@ -71,19 +65,22 @@ void gather_voters(const VoterMatrix<std::uint16_t>& m, std::size_t i,
 /// displaces the *value* by ~2^b; a carry coincidence does not.  The
 /// correction is accepted only if the pixel deviates from the median of its
 /// consulted neighbours by at least 3/4 of the top corrected bit's weight.
+/// \p partners is caller-owned scratch sized by the matrix (up to Υ
+/// entries), so arbitrarily large Υ cannot overflow it.
 [[nodiscard]] bool correction_is_plausible(
     std::span<const std::uint16_t> series, std::size_t i,
-    const VoterMatrix<std::uint16_t>& matrix, std::uint16_t corr) {
-  std::uint16_t partners[8];
-  std::size_t count = 0;
+    const VoterMatrix<std::uint16_t>& matrix, std::uint16_t corr,
+    std::vector<std::uint16_t>& partners) {
+  partners.clear();
   const std::size_t n = series.size();
   for (const auto& way : matrix.ways) {
     const std::size_t d = way.distance;
-    if (i + d < n) partners[count++] = series[i + d];
-    if (i >= d) partners[count++] = series[i - d];
+    if (i + d < n) partners.push_back(series[i + d]);
+    if (i >= d) partners.push_back(series[i - d]);
   }
+  const std::size_t count = partners.size();
   if (count == 0) return false;
-  // Median by insertion sort; count <= 2 * ways <= 8.
+  // Median by insertion sort; count <= Υ stays small in practice.
   for (std::size_t a = 1; a < count; ++a) {
     const std::uint16_t key = partners[a];
     std::size_t b = a;
@@ -100,17 +97,31 @@ void gather_voters(const VoterMatrix<std::uint16_t>& m, std::size_t i,
   return 4 * dev >= 3 * top_weight;
 }
 
+/// Serial-order accumulation of one pixel's (or one chunk's) report into a
+/// running total: counters add, the masks keep the most recent value — the
+/// same "last pixel wins" semantics the serial sweep has always had.
+void accumulate(AlgoNgstReport& total, const AlgoNgstReport& r) {
+  total.pixels_examined += r.pixels_examined;
+  total.pixels_corrected += r.pixels_corrected;
+  total.bits_corrected += r.bits_corrected;
+  total.lsb_mask = r.lsb_mask;
+  total.msb_mask = r.msb_mask;
+}
+
 }  // namespace
 
 template <bool BitSerial>
-AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series) const {
+AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series,
+                             NgstScratch& scratch) const {
   AlgoNgstReport report;
   report.pixels_examined = series.size();
   // Λ = 0: header-sanity-only mode, never touches the data (§3.2).
   if (config_.lambda <= 0.0 || series.size() < 3) return report;
 
-  const VoterMatrix<std::uint16_t> matrix = build_voter_matrix<std::uint16_t>(
-      series, config_.upsilon, config_.lambda, config_.enable_pruning);
+  rebuild_voter_matrix<std::uint16_t>(series, config_.upsilon, config_.lambda,
+                                      config_.enable_pruning, scratch.matrix,
+                                      scratch.sort_buf);
+  const VoterMatrix<std::uint16_t>& matrix = scratch.matrix;
   if (matrix.ways.empty()) return report;
 
   // Ablation A1: with windows disabled every bit needs unanimity and
@@ -123,7 +134,7 @@ AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series) const {
   report.msb_mask = msb_mask;
 
   const std::size_t n = series.size();
-  std::vector<std::uint16_t> voters;
+  std::vector<std::uint16_t>& voters = scratch.voters;
   voters.reserve(config_.upsilon);
   for (std::size_t i = 0; i < n; ++i) {
     gather_voters(matrix, i, n, voters);
@@ -133,8 +144,9 @@ AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series) const {
     } else {
       corr = correction_vector<std::uint16_t>(voters, lsb_mask, msb_mask);
     }
-    if (corr != 0 && (!config_.enable_plausibility_gate ||
-                      correction_is_plausible(series, i, matrix, corr))) {
+    if (corr != 0 &&
+        (!config_.enable_plausibility_gate ||
+         correction_is_plausible(series, i, matrix, corr, scratch.partners))) {
       series[i] = static_cast<std::uint16_t>(series[i] ^ corr);
       ++report.pixels_corrected;
       report.bits_corrected += static_cast<std::size_t>(std::popcount(corr));
@@ -144,34 +156,73 @@ AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series) const {
 }
 
 AlgoNgstReport AlgoNgst::preprocess(std::span<std::uint16_t> series) const {
-  return run<false>(series);
+  NgstScratch scratch;
+  return run<false>(series, scratch);
+}
+
+AlgoNgstReport AlgoNgst::preprocess(std::span<std::uint16_t> series,
+                                    NgstScratch& scratch) const {
+  return run<false>(series, scratch);
 }
 
 AlgoNgstReport AlgoNgst::preprocess_bitserial(
     std::span<std::uint16_t> series) const {
-  return run<true>(series);
+  NgstScratch scratch;
+  return run<true>(series, scratch);
 }
 
 AlgoNgstReport AlgoNgst::preprocess(
     common::TemporalStack<std::uint16_t>& stack) const {
+  const std::size_t width = stack.width();
+  const std::size_t height = stack.height();
+  const std::size_t frames = stack.frames();
   AlgoNgstReport total;
-  std::vector<std::uint16_t> series(stack.frames());
-  for (std::size_t y = 0; y < stack.height(); ++y) {
-    for (std::size_t x = 0; x < stack.width(); ++x) {
-      for (std::size_t t = 0; t < stack.frames(); ++t) {
-        series[t] = stack(x, y, t);
-      }
-      const AlgoNgstReport r = preprocess(series);
-      for (std::size_t t = 0; t < stack.frames(); ++t) {
-        stack(x, y, t) = series[t];
-      }
-      total.pixels_examined += r.pixels_examined;
-      total.pixels_corrected += r.pixels_corrected;
-      total.bits_corrected += r.bits_corrected;
-      total.lsb_mask = r.lsb_mask;
-      total.msb_mask = r.msb_mask;
-    }
-  }
+  if (width == 0 || height == 0 || frames == 0) return total;
+
+  const std::size_t lanes = common::parallel::resolve_threads(config_.threads);
+  std::vector<NgstScratch> scratch(std::max<std::size_t>(lanes, 1));
+  // One report per row, reduced in row order below: the partition, the
+  // per-pixel work, and the reduction order are all independent of the lane
+  // count, so the result is bit-identical to the serial sweep.
+  std::vector<AlgoNgstReport> row_reports(height);
+
+  std::uint16_t* const data = stack.cube().voxels().data();
+  const std::size_t plane = width * height;
+  common::parallel::parallel_for(
+      height, /*grain=*/1, lanes,
+      [&](std::size_t y0, std::size_t y1, std::size_t lane) {
+        NgstScratch& s = scratch[lane];
+        for (std::size_t y = y0; y < y1; ++y) {
+          AlgoNgstReport& row = row_reports[y];
+          for (std::size_t x0 = 0; x0 < width; x0 += kTileWidth) {
+            const std::size_t tw = std::min(kTileWidth, width - x0);
+            s.tile.resize(tw * frames);
+            // Gather: transpose the tile into coordinate-major scratch.
+            // Each frame contributes one contiguous row segment, so the
+            // reads stream through memory instead of striding plane-sized
+            // gaps per sample.
+            for (std::size_t t = 0; t < frames; ++t) {
+              const std::uint16_t* src = data + t * plane + y * width + x0;
+              for (std::size_t k = 0; k < tw; ++k) {
+                s.tile[k * frames + t] = src[k];
+              }
+            }
+            for (std::size_t k = 0; k < tw; ++k) {
+              const std::span<std::uint16_t> series(s.tile.data() + k * frames,
+                                                    frames);
+              accumulate(row, run<false>(series, s));
+            }
+            // Scatter the corrected series back.
+            for (std::size_t t = 0; t < frames; ++t) {
+              std::uint16_t* dst = data + t * plane + y * width + x0;
+              for (std::size_t k = 0; k < tw; ++k) {
+                dst[k] = s.tile[k * frames + t];
+              }
+            }
+          }
+        }
+      });
+  for (const AlgoNgstReport& row : row_reports) accumulate(total, row);
   return total;
 }
 

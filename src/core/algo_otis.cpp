@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "spacefts/common/bitops.hpp"
+#include "spacefts/common/parallel.hpp"
 #include "spacefts/common/stats.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
@@ -24,6 +25,8 @@ AlgoOtis::AlgoOtis(AlgoOtisConfig config) : config_(std::move(config)) {
 }
 
 namespace {
+
+namespace par = spacefts::common::parallel;
 
 /// Pixel classification for one plane pass.
 enum class PixelState : std::uint8_t {
@@ -86,35 +89,54 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   const std::size_t h = plane.height();
   const otis::RadianceInterval interval =
       config_.bounds.radiance_interval(wavelength_um);
+  const std::size_t lanes = par::resolve_threads(config_.threads);
 
   // ---- Phase 1: classification ---------------------------------------------
+  // Row-parallel: every write (state/medians/residuals) targets the pixel's
+  // own row, the plane itself is only read.  The per-lane residual pools
+  // feed an order statistic below, which is permutation-invariant, so the
+  // outcome does not depend on how rows land on lanes.
   common::Image<std::uint8_t> state(w, h,
                                     static_cast<std::uint8_t>(PixelState::kClean));
   common::Image<float> medians(w, h, 0.0f);
   common::Image<float> residuals(w, h, 0.0f);
-  std::vector<double> abs_residuals;
-  abs_residuals.reserve(w * h);
+  std::vector<std::vector<double>> lane_residuals(lanes);
+  std::vector<std::size_t> lane_oob(lanes, 0);
 
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      const float v = plane(x, y);
-      const bool in_bounds =
-          std::isfinite(v) && (!config_.enable_bounds ||
-                               interval.contains(static_cast<double>(v)));
-      const float m = local_median(plane, x, y);
-      medians(x, y) = m;
-      if (!in_bounds) {
-        // Hypothesis (2): theoretically impossible values are faults.
-        state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
-        ++report.out_of_bounds;
-        residuals(x, y) = std::numeric_limits<float>::quiet_NaN();
-        continue;
+  par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
+                                               std::size_t lane) {
+    std::vector<double>& pool = lane_residuals[lane];
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const float v = plane(x, y);
+        const bool in_bounds =
+            std::isfinite(v) && (!config_.enable_bounds ||
+                                 interval.contains(static_cast<double>(v)));
+        const float m = local_median(plane, x, y);
+        medians(x, y) = m;
+        if (!in_bounds) {
+          // Hypothesis (2): theoretically impossible values are faults.
+          state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
+          ++lane_oob[lane];
+          residuals(x, y) = std::numeric_limits<float>::quiet_NaN();
+          continue;
+        }
+        const float r = std::isfinite(m) ? v - m : 0.0f;
+        residuals(x, y) = r;
+        pool.push_back(std::abs(static_cast<double>(r)));
       }
-      const float r = std::isfinite(m) ? v - m : 0.0f;
-      residuals(x, y) = r;
-      abs_residuals.push_back(std::abs(static_cast<double>(r)));
+    }
+  });
+  std::vector<double> abs_residuals;
+  {
+    std::size_t n = 0;
+    for (const auto& pool : lane_residuals) n += pool.size();
+    abs_residuals.reserve(n);
+    for (const auto& pool : lane_residuals) {
+      abs_residuals.insert(abs_residuals.end(), pool.begin(), pool.end());
     }
   }
+  for (std::size_t l = 0; l < lanes; ++l) report.out_of_bounds += lane_oob[l];
 
   // Robust scale of the conforming residuals.  The 30th percentile of |r|
   // stays uncontaminated even when well over half the pixels carry faults
@@ -134,52 +156,67 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   // Floor the threshold to keep pure float rounding noise from qualifying.
   const double tau = std::max(factor * sigma_est, 1e-12);
 
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      if (state(x, y) != static_cast<std::uint8_t>(PixelState::kClean)) continue;
-      const float r = residuals(x, y);
-      if (std::abs(static_cast<double>(r)) <= tau) continue;
-      ++report.outliers;
-      // Hypothesis (1): a trend in the neighbourhood is natural.  An ally is
-      // a neighbour whose *value* deviates from this pixel's local median in
-      // the same direction by a comparable amount — this also protects the
-      // rim of a plateau anomaly (geyser, eruption front), whose interior
-      // neighbours are not residual-outliers themselves (their own local
-      // medians are already hot) but visibly share the deviation.
-      if (config_.enable_trend_test) {
-        const float m = medians(x, y);
-        std::size_t allies = 0;
-        for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
-          for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
-            if (dx == 0 && dy == 0) continue;
-            const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
-            const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
-            if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
-                ny >= static_cast<std::ptrdiff_t>(h)) {
-              continue;
-            }
-            const float nv = plane(static_cast<std::size_t>(nx),
-                                   static_cast<std::size_t>(ny));
-            if (!std::isfinite(nv) || !std::isfinite(m)) continue;
-            const double ndev = static_cast<double>(nv) - static_cast<double>(m);
-            // An ally shares the deviation's direction AND magnitude: a
-            // physical trend is spatially coherent, while coincidentally
-            // corrupted neighbours deviate by unrelated (bit-weight) amounts.
-            const double rmag = std::abs(static_cast<double>(r));
-            if (std::abs(ndev) >= 0.5 * rmag && std::abs(ndev) <= 2.5 * rmag &&
-                std::signbit(static_cast<float>(ndev)) == std::signbit(r)) {
-              ++allies;
-            }
-          }
-        }
-        if (allies >= config_.trend_neighbors) {
-          state(x, y) = static_cast<std::uint8_t>(PixelState::kProtected);
-          ++report.trend_protected;
+  std::vector<std::size_t> lane_outliers(lanes, 0);
+  std::vector<std::size_t> lane_protected(lanes, 0);
+  par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
+                                               std::size_t lane) {
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        if (state(x, y) != static_cast<std::uint8_t>(PixelState::kClean)) {
           continue;
         }
+        const float r = residuals(x, y);
+        if (std::abs(static_cast<double>(r)) <= tau) continue;
+        ++lane_outliers[lane];
+        // Hypothesis (1): a trend in the neighbourhood is natural.  An ally
+        // is a neighbour whose *value* deviates from this pixel's local
+        // median in the same direction by a comparable amount — this also
+        // protects the rim of a plateau anomaly (geyser, eruption front),
+        // whose interior neighbours are not residual-outliers themselves
+        // (their own local medians are already hot) but visibly share the
+        // deviation.
+        if (config_.enable_trend_test) {
+          const float m = medians(x, y);
+          std::size_t allies = 0;
+          for (std::ptrdiff_t dy = -1; dy <= 1; ++dy) {
+            for (std::ptrdiff_t dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0) continue;
+              const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + dx;
+              const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + dy;
+              if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+                  ny >= static_cast<std::ptrdiff_t>(h)) {
+                continue;
+              }
+              const float nv = plane(static_cast<std::size_t>(nx),
+                                     static_cast<std::size_t>(ny));
+              if (!std::isfinite(nv) || !std::isfinite(m)) continue;
+              const double ndev =
+                  static_cast<double>(nv) - static_cast<double>(m);
+              // An ally shares the deviation's direction AND magnitude: a
+              // physical trend is spatially coherent, while coincidentally
+              // corrupted neighbours deviate by unrelated (bit-weight)
+              // amounts.
+              const double rmag = std::abs(static_cast<double>(r));
+              if (std::abs(ndev) >= 0.5 * rmag &&
+                  std::abs(ndev) <= 2.5 * rmag &&
+                  std::signbit(static_cast<float>(ndev)) == std::signbit(r)) {
+                ++allies;
+              }
+            }
+          }
+          if (allies >= config_.trend_neighbors) {
+            state(x, y) = static_cast<std::uint8_t>(PixelState::kProtected);
+            ++lane_protected[lane];
+            continue;
+          }
+        }
+        state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
       }
-      state(x, y) = static_cast<std::uint8_t>(PixelState::kCandidate);
     }
+  });
+  for (std::size_t l = 0; l < lanes; ++l) {
+    report.outliers += lane_outliers[l];
+    report.trend_protected += lane_protected[l];
   }
 
   // ---- Phase 2: dynamic bit-level thresholds from clean pairs ---------------
@@ -247,75 +284,90 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   // no-op on conforming pixels, so clean data is not blurred the way a
   // blanket median/majority filter blurs it.  Declared candidates that the
   // bit vote cannot rehabilitate fall back to the neighbourhood median.
-  std::vector<std::uint32_t> voters;
-  voters.reserve(config_.upsilon);
-  for (std::size_t y = 0; y < h; ++y) {
-    for (std::size_t x = 0; x < w; ++x) {
-      if (state(x, y) == static_cast<std::uint8_t>(PixelState::kProtected)) {
-        continue;
-      }
-      const bool candidate =
-          state(x, y) == static_cast<std::uint8_t>(PixelState::kCandidate);
-      const float original = plane(x, y);
-      const float fallback = medians(x, y);
+  //
+  // Voters are read from an immutable snapshot of the plane (Jacobi-style):
+  // a pixel's repair never depends on whether a neighbour was already
+  // repaired this pass, which both removes the sweep-order dependence and
+  // makes the row-parallel execution bit-identical to serial.
+  const common::Image<float> source = plane;
+  std::vector<std::size_t> lane_bit(lanes, 0);
+  std::vector<std::size_t> lane_median(lanes, 0);
+  par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
+                                               std::size_t lane) {
+    std::vector<std::uint32_t> voters;
+    voters.reserve(config_.upsilon);
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        if (state(x, y) == static_cast<std::uint8_t>(PixelState::kProtected)) {
+          continue;
+        }
+        const bool candidate =
+            state(x, y) == static_cast<std::uint8_t>(PixelState::kCandidate);
+        const float original = source(x, y);
+        const float fallback = medians(x, y);
 
-      if (have_thresholds) {
-        voters.clear();
-        const std::uint32_t self = common::float_to_bits(original);
-        for (const auto& way : ways) {
-          for (int sign : {+1, -1}) {
-            const auto nx = static_cast<std::ptrdiff_t>(x) + sign * way.dx;
-            const auto ny = static_cast<std::ptrdiff_t>(y) + sign * way.dy;
-            if (!is_clean(nx, ny)) continue;
-            const std::uint32_t xr =
-                self ^ common::float_to_bits(
-                           plane(static_cast<std::size_t>(nx),
-                                 static_cast<std::size_t>(ny)));
-            voters.push_back(xr > way.v_val ? xr : 0u);
+        if (have_thresholds) {
+          voters.clear();
+          const std::uint32_t self = common::float_to_bits(original);
+          for (const auto& way : ways) {
+            for (int sign : {+1, -1}) {
+              const auto nx = static_cast<std::ptrdiff_t>(x) + sign * way.dx;
+              const auto ny = static_cast<std::ptrdiff_t>(y) + sign * way.dy;
+              if (!is_clean(nx, ny)) continue;
+              const std::uint32_t xr =
+                  self ^ common::float_to_bits(
+                             source(static_cast<std::size_t>(nx),
+                                    static_cast<std::size_t>(ny)));
+              voters.push_back(xr > way.v_val ? xr : 0u);
+            }
+          }
+          const std::uint32_t corr =
+              correction_vector<std::uint32_t>(voters, lsb_mask, msb_mask);
+          if (corr != 0) {
+            const float cand = common::bits_to_float(self ^ corr);
+            // Carry-analogue plausibility: accept a bit repair only if it is
+            // physical and moves the pixel *toward* its neighbourhood, never
+            // away (protects against coincidental vote agreement).
+            const bool physical =
+                std::isfinite(cand) &&
+                (!config_.enable_bounds ||
+                 interval.contains(static_cast<double>(cand)));
+            const bool converges =
+                std::isfinite(fallback) &&
+                (!std::isfinite(original) ||
+                 std::abs(static_cast<double>(cand) -
+                          static_cast<double>(fallback)) <
+                     std::abs(static_cast<double>(original) -
+                              static_cast<double>(fallback)));
+            if (physical && converges) {
+              plane(x, y) = cand;
+              ++lane_bit[lane];
+            }
           }
         }
-        const std::uint32_t corr =
-            correction_vector<std::uint32_t>(voters, lsb_mask, msb_mask);
-        if (corr != 0) {
-          const float cand = common::bits_to_float(self ^ corr);
-          // Carry-analogue plausibility: accept a bit repair only if it is
-          // physical and moves the pixel *toward* its neighbourhood, never
-          // away (protects against coincidental vote agreement).
-          const bool physical =
-              std::isfinite(cand) &&
+
+        // Declared candidates must end up conforming; if the bit vote did
+        // not achieve that, the neighbourhood median does.
+        if (candidate && std::isfinite(fallback)) {
+          const float now = plane(x, y);
+          const bool conforming =
+              std::isfinite(now) &&
               (!config_.enable_bounds ||
-               interval.contains(static_cast<double>(cand)));
-          const bool converges =
-              std::isfinite(fallback) &&
-              (!std::isfinite(original) ||
-               std::abs(static_cast<double>(cand) -
-                        static_cast<double>(fallback)) <
-                   std::abs(static_cast<double>(original) -
-                            static_cast<double>(fallback)));
-          if (physical && converges) {
-            plane(x, y) = cand;
-            ++report.bit_corrected;
+               interval.contains(static_cast<double>(now))) &&
+              std::abs(static_cast<double>(now) -
+                       static_cast<double>(fallback)) <= 2.0 * tau;
+          if (!conforming) {
+            plane(x, y) = fallback;
+            ++lane_median[lane];
           }
         }
+        // No finite neighbour at all: leave the pixel as-is.
       }
-
-      // Declared candidates must end up conforming; if the bit vote did not
-      // achieve that, the neighbourhood median does.
-      if (candidate && std::isfinite(fallback)) {
-        const float now = plane(x, y);
-        const bool conforming =
-            std::isfinite(now) &&
-            (!config_.enable_bounds ||
-             interval.contains(static_cast<double>(now))) &&
-            std::abs(static_cast<double>(now) -
-                     static_cast<double>(fallback)) <= 2.0 * tau;
-        if (!conforming) {
-          plane(x, y) = fallback;
-          ++report.median_replaced;
-        }
-      }
-      // No finite neighbour at all: leave the pixel as-is.
     }
+  });
+  for (std::size_t l = 0; l < lanes; ++l) {
+    report.bit_corrected += lane_bit[l];
+    report.median_replaced += lane_median[l];
   }
   return report;
 }
@@ -337,69 +389,91 @@ AlgoOtisReport AlgoOtis::preprocess_spectral(
     intervals.push_back(config_.bounds.radiance_interval(wl));
   }
 
-  std::vector<std::uint32_t> series(bands);
-  std::vector<std::uint32_t> voters;
-  voters.reserve(config_.upsilon);
-  for (std::size_t y = 0; y < cube.height(); ++y) {
-    for (std::size_t x = 0; x < cube.width(); ++x) {
-      for (std::size_t b = 0; b < bands; ++b) {
-        series[b] = common::float_to_bits(cube(x, y, b));
-      }
-      // Dynamic per-pixel thresholds along the wavelength axis.  The
-      // Planck slope between bands is natural variation, so the spectral
-      // matrix's thresholds end up wide — the §7.1 effect.
-      const auto matrix = build_voter_matrix<std::uint32_t>(
-          series, config_.upsilon, config_.lambda, true);
-      if (matrix.ways.empty()) continue;
-      for (std::size_t b = 0; b < bands; ++b) {
-        voters.clear();
-        for (std::size_t w = 0; w < matrix.ways.size(); ++w) {
-          const std::size_t d = matrix.ways[w].distance;
-          if (b + d < bands) voters.push_back(matrix.voter(w, b));
-          if (b >= d) voters.push_back(matrix.voter(w, b - d));
+  // Row-parallel over ground pixels; every lane owns a full scratch set
+  // (series, voter matrix, sort buffer, voters) so the per-pixel loop does
+  // not allocate once warm.  Each pixel touches only its own spectral
+  // column, so output is bit-identical for every thread count.
+  const std::size_t lanes = par::resolve_threads(config_.threads);
+  struct SpectralScratch {
+    std::vector<std::uint32_t> series;
+    VoterMatrix<std::uint32_t> matrix;
+    std::vector<std::uint32_t> sort_buf;
+    std::vector<std::uint32_t> voters;
+  };
+  std::vector<SpectralScratch> scratch(lanes);
+  std::vector<std::size_t> lane_oob(lanes, 0);
+  std::vector<std::size_t> lane_bit(lanes, 0);
+  std::vector<std::size_t> lane_median(lanes, 0);
+
+  par::parallel_for(cube.height(), /*grain=*/4, lanes, [&](std::size_t y0,
+                                                           std::size_t y1,
+                                                           std::size_t lane) {
+    SpectralScratch& s = scratch[lane];
+    s.series.resize(bands);
+    s.voters.reserve(config_.upsilon);
+    for (std::size_t y = y0; y < y1; ++y) {
+      for (std::size_t x = 0; x < cube.width(); ++x) {
+        for (std::size_t b = 0; b < bands; ++b) {
+          s.series[b] = common::float_to_bits(cube(x, y, b));
         }
-        const std::uint32_t corr = correction_vector<std::uint32_t>(
-            voters, matrix.lsb_mask, matrix.msb_mask);
-        const float original = cube(x, y, b);
-        const bool oob = config_.enable_bounds &&
-                         (!std::isfinite(original) ||
-                          !intervals[b].contains(static_cast<double>(original)));
-        if (oob) ++report.out_of_bounds;
-        if (corr != 0) {
-          const float cand = common::bits_to_float(series[b] ^ corr);
-          const bool physical =
-              std::isfinite(cand) &&
-              (!config_.enable_bounds ||
-               intervals[b].contains(static_cast<double>(cand)));
-          if (physical) {
-            cube(x, y, b) = cand;
-            ++report.bit_corrected;
-            continue;
+        // Dynamic per-pixel thresholds along the wavelength axis.  The
+        // Planck slope between bands is natural variation, so the spectral
+        // matrix's thresholds end up wide — the §7.1 effect.
+        rebuild_voter_matrix<std::uint32_t>(s.series, config_.upsilon,
+                                            config_.lambda, true, s.matrix,
+                                            s.sort_buf);
+        if (s.matrix.ways.empty()) continue;
+        for (std::size_t b = 0; b < bands; ++b) {
+          gather_voters(s.matrix, b, bands, s.voters);
+          const std::uint32_t corr = correction_vector<std::uint32_t>(
+              s.voters, s.matrix.lsb_mask, s.matrix.msb_mask);
+          const float original = cube(x, y, b);
+          const bool oob =
+              config_.enable_bounds &&
+              (!std::isfinite(original) ||
+               !intervals[b].contains(static_cast<double>(original)));
+          if (oob) ++lane_oob[lane];
+          if (corr != 0) {
+            const float cand = common::bits_to_float(s.series[b] ^ corr);
+            const bool physical =
+                std::isfinite(cand) &&
+                (!config_.enable_bounds ||
+                 intervals[b].contains(static_cast<double>(cand)));
+            if (physical) {
+              cube(x, y, b) = cand;
+              ++lane_bit[lane];
+              continue;
+            }
           }
-        }
-        // Unrehabilitated out-of-bounds band: interpolate its neighbours.
-        if (oob) {
-          const float lo = b > 0 ? cube(x, y, b - 1)
+          // Unrehabilitated out-of-bounds band: interpolate its neighbours.
+          if (oob) {
+            const float lo = b > 0 ? cube(x, y, b - 1)
+                                   : std::numeric_limits<float>::quiet_NaN();
+            const float hi = b + 1 < bands
+                                 ? cube(x, y, b + 1)
                                  : std::numeric_limits<float>::quiet_NaN();
-          const float hi = b + 1 < bands
-                               ? cube(x, y, b + 1)
-                               : std::numeric_limits<float>::quiet_NaN();
-          float fallback;
-          if (std::isfinite(lo) && std::isfinite(hi)) {
-            fallback = 0.5f * (lo + hi);
-          } else if (std::isfinite(lo)) {
-            fallback = lo;
-          } else {
-            fallback = hi;
-          }
-          if (std::isfinite(fallback) &&
-              intervals[b].contains(static_cast<double>(fallback))) {
-            cube(x, y, b) = fallback;
-            ++report.median_replaced;
+            float fallback;
+            if (std::isfinite(lo) && std::isfinite(hi)) {
+              fallback = 0.5f * (lo + hi);
+            } else if (std::isfinite(lo)) {
+              fallback = lo;
+            } else {
+              fallback = hi;
+            }
+            if (std::isfinite(fallback) &&
+                intervals[b].contains(static_cast<double>(fallback))) {
+              cube(x, y, b) = fallback;
+              ++lane_median[lane];
+            }
           }
         }
       }
     }
+  });
+  for (std::size_t l = 0; l < lanes; ++l) {
+    report.out_of_bounds += lane_oob[l];
+    report.bit_corrected += lane_bit[l];
+    report.median_replaced += lane_median[l];
   }
   return report;
 }

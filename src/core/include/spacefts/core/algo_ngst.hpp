@@ -24,8 +24,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "spacefts/common/image.hpp"
+#include "spacefts/core/voter_matrix.hpp"
 
 namespace spacefts::core {
 
@@ -43,6 +45,23 @@ struct AlgoNgstConfig {
   /// only when the pixel's arithmetic deviation from its neighbours matches
   /// the weight of the bit being corrected.  Off = pure XOR voting.
   bool enable_plausibility_gate = true;
+  /// Worker lanes for the stack-level preprocessing path; 1 = serial,
+  /// 0 = one lane per hardware thread.  The output is bit-identical for
+  /// every value (the row partition and per-pixel work are independent of
+  /// the lane count).
+  std::size_t threads = 1;
+};
+
+/// Reusable workspace for the allocation-free preprocessing path.  Buffers
+/// grow to their steady-state capacity within the first few pixels and are
+/// recycled for every subsequent pixel; the parallel stack path keeps one
+/// scratch per lane.
+struct NgstScratch {
+  VoterMatrix<std::uint16_t> matrix;
+  std::vector<std::uint16_t> sort_buf;   ///< nth_element workspace
+  std::vector<std::uint16_t> voters;     ///< surviving voters of one pixel
+  std::vector<std::uint16_t> partners;   ///< plausibility-gate neighbours
+  std::vector<std::uint16_t> tile;       ///< coordinate-major gather buffer
 };
 
 /// Diagnostics from one sequence (or one stack) pass.
@@ -66,6 +85,12 @@ class AlgoNgst {
   /// Preprocesses one coordinate's time series in place.
   [[nodiscard]] AlgoNgstReport preprocess(std::span<std::uint16_t> series) const;
 
+  /// Scratch-reuse form: identical output, but all working memory lives in
+  /// \p scratch, so a caller iterating many series performs no per-series
+  /// heap allocation once the scratch reaches steady state.
+  [[nodiscard]] AlgoNgstReport preprocess(std::span<std::uint16_t> series,
+                                          NgstScratch& scratch) const;
+
   /// Reference implementation that iterates bit positions serially across
   /// the active windows, mirroring the cost structure the paper measured in
   /// Fig. 3 (overhead grows with Λ because Λ widens window B).  Produces
@@ -75,12 +100,20 @@ class AlgoNgst {
       std::span<std::uint16_t> series) const;
 
   /// Preprocesses every coordinate of a temporal stack.
+  ///
+  /// Hot path: coordinates are processed in tile blocks — a tile of (x, y)
+  /// series is transposed into contiguous per-lane scratch, preprocessed
+  /// there, and scattered back — and rows are distributed over
+  /// `config().threads` lanes.  The steady-state path performs zero heap
+  /// allocations per pixel, and the output (pixels and report counters) is
+  /// bit-identical for every thread count, including 1.
   [[nodiscard]] AlgoNgstReport preprocess(
       common::TemporalStack<std::uint16_t>& stack) const;
 
  private:
   template <bool BitSerial>
-  [[nodiscard]] AlgoNgstReport run(std::span<std::uint16_t> series) const;
+  [[nodiscard]] AlgoNgstReport run(std::span<std::uint16_t> series,
+                                   NgstScratch& scratch) const;
 
   AlgoNgstConfig config_;
 };

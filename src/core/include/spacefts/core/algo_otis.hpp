@@ -52,6 +52,11 @@ struct AlgoOtisConfig {
   /// Ablation switches.
   bool enable_bounds = true;
   bool enable_trend_test = true;
+  /// Worker lanes for the row-parallel plane passes; 1 = serial, 0 = one
+  /// lane per hardware thread.  Output is bit-identical for every value:
+  /// the voting phase reads from an immutable snapshot of the plane
+  /// (Jacobi-style update), so no pixel's repair depends on sweep order.
+  std::size_t threads = 1;
 };
 
 /// Diagnostics from one cube pass.

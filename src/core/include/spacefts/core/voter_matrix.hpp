@@ -67,6 +67,29 @@ template <typename Word>
                                                    double lambda,
                                                    bool prune = true);
 
+/// Scratch-reuse form of build_voter_matrix: rebuilds \p m in place,
+/// recycling the per-way XOR buffers and \p sort_scratch across calls so the
+/// steady-state stack path performs no per-pixel heap allocation.  Produces
+/// a matrix bit-identical to build_voter_matrix on the same inputs.
+template <typename Word>
+void rebuild_voter_matrix(std::span<const Word> series, std::size_t upsilon,
+                          double lambda, bool prune, VoterMatrix<Word>& m,
+                          std::vector<Word>& sort_scratch);
+
+/// Collects pixel \p i's surviving voters into \p out (cleared first, the
+/// capacity is reused).  Out-of-range pairings contribute nothing; pruned
+/// pairings contribute a zero, which actively votes against every bit flip.
+template <typename Word>
+void gather_voters(const VoterMatrix<Word>& m, std::size_t i, std::size_t n,
+                   std::vector<Word>& out) {
+  out.clear();
+  for (std::size_t w = 0; w < m.ways.size(); ++w) {
+    const std::size_t d = m.ways[w].distance;
+    if (i + d < n) out.push_back(m.voter(w, i));      // forward partner i+d
+    if (i >= d) out.push_back(m.voter(w, i - d));     // backward partner i-d
+  }
+}
+
 /// The correction vector for pixel \p i given its surviving voters [R4]:
 ///   Corr_Vect = AND of all voters            (unanimous)
 ///   Corr_Aux  = GRT = OR of leave-one-out ANDs (>= n-1 agree)
@@ -80,6 +103,12 @@ extern template VoterMatrix<std::uint16_t> build_voter_matrix<std::uint16_t>(
     std::span<const std::uint16_t>, std::size_t, double, bool);
 extern template VoterMatrix<std::uint32_t> build_voter_matrix<std::uint32_t>(
     std::span<const std::uint32_t>, std::size_t, double, bool);
+extern template void rebuild_voter_matrix<std::uint16_t>(
+    std::span<const std::uint16_t>, std::size_t, double, bool,
+    VoterMatrix<std::uint16_t>&, std::vector<std::uint16_t>&);
+extern template void rebuild_voter_matrix<std::uint32_t>(
+    std::span<const std::uint32_t>, std::size_t, double, bool,
+    VoterMatrix<std::uint32_t>&, std::vector<std::uint32_t>&);
 extern template std::uint16_t correction_vector<std::uint16_t>(
     std::span<const std::uint16_t>, std::uint16_t, std::uint16_t);
 extern template std::uint32_t correction_vector<std::uint32_t>(

@@ -13,38 +13,47 @@ template <typename Word>
 VoterMatrix<Word> build_voter_matrix(std::span<const Word> series,
                                      std::size_t upsilon, double lambda,
                                      bool prune) {
+  VoterMatrix<Word> m;
+  std::vector<Word> sort_scratch;
+  rebuild_voter_matrix(series, upsilon, lambda, prune, m, sort_scratch);
+  return m;
+}
+
+template <typename Word>
+void rebuild_voter_matrix(std::span<const Word> series, std::size_t upsilon,
+                          double lambda, bool prune, VoterMatrix<Word>& m,
+                          std::vector<Word>& sort_scratch) {
   if (upsilon == 0 || upsilon % 2 != 0) {
     throw std::invalid_argument("build_voter_matrix: upsilon must be even > 0");
   }
   if (!is_valid_sensitivity(lambda)) {
     throw std::invalid_argument("build_voter_matrix: lambda outside [0, 100]");
   }
-  VoterMatrix<Word> m;
   const std::size_t n = series.size();
-  std::vector<Word> sorted;
-  for (std::size_t d = 1; d <= upsilon / 2; ++d) {
-    if (d >= n) break;
-    VoterWay<Word> way;
+  const std::size_t way_count =
+      n == 0 ? 0 : std::min(upsilon / 2, n - 1);
+  m.ways.resize(way_count);
+  for (std::size_t d = 1; d <= way_count; ++d) {
+    VoterWay<Word>& way = m.ways[d - 1];
     way.distance = d;
     way.xors.resize(n - d);
     for (std::size_t i = 0; i + d < n; ++i) {
       way.xors[i] = static_cast<Word>(series[i] ^ series[i + d]);
     }
     // Threshold: lowest power of two >= the Φ-th smallest XOR value [R2].
-    sorted = way.xors;
-    const std::size_t rank = prune_rank(sorted.size(), lambda);
-    std::nth_element(sorted.begin(),
-                     sorted.begin() + static_cast<std::ptrdiff_t>(rank),
-                     sorted.end());
-    const Word quantile = sorted[rank];
+    sort_scratch.assign(way.xors.begin(), way.xors.end());
+    const std::size_t rank = prune_rank(sort_scratch.size(), lambda);
+    std::nth_element(sort_scratch.begin(),
+                     sort_scratch.begin() + static_cast<std::ptrdiff_t>(rank),
+                     sort_scratch.end());
+    const Word quantile = sort_scratch[rank];
     way.v_val = quantile == 0 ? Word{0} : common::ceil_pow2(quantile);
-    m.ways.push_back(std::move(way));
   }
   m.prune_enabled = prune;
   if (m.ways.empty()) {
     m.lsb_mask = 0;
     m.msb_mask = 0;
-    return m;
+    return;
   }
   Word min_vval = std::numeric_limits<Word>::max();
   Word max_vval = 0;
@@ -66,7 +75,6 @@ VoterMatrix<Word> build_voter_matrix(std::span<const Word> series,
   };
   m.lsb_mask = mask_from(min_vval);
   m.msb_mask = mask_from(max_vval);
-  return m;
 }
 
 template <typename Word>
@@ -88,6 +96,12 @@ template VoterMatrix<std::uint16_t> build_voter_matrix<std::uint16_t>(
     std::span<const std::uint16_t>, std::size_t, double, bool);
 template VoterMatrix<std::uint32_t> build_voter_matrix<std::uint32_t>(
     std::span<const std::uint32_t>, std::size_t, double, bool);
+template void rebuild_voter_matrix<std::uint16_t>(
+    std::span<const std::uint16_t>, std::size_t, double, bool,
+    VoterMatrix<std::uint16_t>&, std::vector<std::uint16_t>&);
+template void rebuild_voter_matrix<std::uint32_t>(
+    std::span<const std::uint32_t>, std::size_t, double, bool,
+    VoterMatrix<std::uint32_t>&, std::vector<std::uint32_t>&);
 template std::uint16_t correction_vector<std::uint16_t>(
     std::span<const std::uint16_t>, std::uint16_t, std::uint16_t);
 template std::uint32_t correction_vector<std::uint32_t>(

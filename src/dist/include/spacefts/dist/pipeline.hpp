@@ -62,6 +62,11 @@ struct PipelineConfig {
   PreprocessMode preprocess = PreprocessMode::kAlgoNgst;
   core::AlgoNgstConfig algo{};
   ngst::CrRejectParams cr{};
+  /// Worker lanes each (simulated) node uses for its own tile preprocessing;
+  /// forwarded into AlgoNgstConfig::threads.  1 = serial, 0 = all hardware
+  /// threads of the host.  Does not affect results — tile output is
+  /// bit-identical for every value.
+  std::size_t threads = 1;
 };
 
 /// End-to-end result of one baseline.

@@ -65,7 +65,9 @@ struct WorkerOutput {
     case PreprocessMode::kNone:
       break;
     case PreprocessMode::kAlgoNgst: {
-      const core::AlgoNgst algo(config.algo);
+      core::AlgoNgstConfig algo_config = config.algo;
+      algo_config.threads = config.threads;
+      const core::AlgoNgst algo(algo_config);
       const auto report = algo.preprocess(tile);
       out.corrected = report.pixels_corrected;
       break;

@@ -57,6 +57,22 @@ TEST(AlgoNgst, CorrectsSingleHighBitFlipInConstantSeries) {
   EXPECT_EQ(report.bits_corrected, 1u);
 }
 
+TEST(AlgoNgst, LargeUpsilonCorrectsWithoutOverflow) {
+  // Regression: Υ = 12 gathers up to 12 plausibility-gate partners per
+  // pixel; the gate once used a fixed partners[8] stack array, which this
+  // configuration overflowed.  The run must stay clean (ASan) and still
+  // repair the flip.
+  sc::AlgoNgstConfig config;
+  config.upsilon = 12;
+  const sc::AlgoNgst algo(config);
+  std::vector<std::uint16_t> series(64, 27000);
+  series[30] = 27000 ^ 0x4000;
+  const auto report = algo.preprocess(series);
+  for (auto v : series) EXPECT_EQ(v, 27000u);
+  EXPECT_EQ(report.pixels_corrected, 1u);
+  EXPECT_EQ(report.bits_corrected, 1u);
+}
+
 TEST(AlgoNgst, CorrectsEveryBitOfConstantSeries) {
   // With zero natural variation, even low-bit flips are identifiable —
   // window C is empty (the dynamic thresholds quantize to zero).

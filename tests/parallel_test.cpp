@@ -1,0 +1,261 @@
+// Tests for the common::parallel subsystem and the determinism + allocation
+// contracts of the parallel preprocessing paths:
+//
+//  * parallel_for covers [0, n) exactly once for every lane count;
+//  * exceptions thrown inside a job propagate to the dispatching thread;
+//  * Algo_NGST stack preprocessing is bit-identical (pixels AND report
+//    counters) for threads in {1, 2, hardware_concurrency, 0};
+//  * Algo_OTIS plane/spectral preprocessing is likewise thread-invariant;
+//  * the steady-state stack path performs no per-pixel heap allocation
+//    (counted by overriding the global allocator in this TU).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/parallel.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/datagen/otis_scenes.hpp"
+#include "spacefts/fault/models.hpp"
+
+namespace par = spacefts::common::parallel;
+namespace sc = spacefts::core;
+namespace sd = spacefts::datagen;
+namespace sf = spacefts::fault;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-allocation contract.  Counting is
+// unconditional (an atomic increment is cheap); the test reads the counter
+// around the call under test.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// parallel_for mechanics
+
+TEST(ResolveThreads, ZeroMeansHardware) {
+  const std::size_t hw = par::resolve_threads(0);
+  EXPECT_GE(hw, 1u);
+  EXPECT_EQ(par::resolve_threads(1), 1u);
+  EXPECT_EQ(par::resolve_threads(5), 5u);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t lanes : {1u, 2u, 3u, 8u, 16u}) {
+    for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      par::parallel_for(n, /*grain=*/7, lanes,
+                        [&](std::size_t b, std::size_t e, std::size_t lane) {
+                          EXPECT_LT(lane, std::max<std::size_t>(lanes, 1));
+                          EXPECT_LE(e, n);
+                          for (std::size_t i = b; i < e; ++i) {
+                            hits[i].fetch_add(1);
+                          }
+                        });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " lanes=" << lanes
+                                     << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, ChunkBoundariesIndependentOfLaneCount) {
+  // The partition is a pure function of (n, grain): collect the chunk set
+  // at several lane counts and require equality.
+  const std::size_t n = 103, grain = 10;
+  auto chunk_set = [&](std::size_t lanes) {
+    std::mutex m;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    par::parallel_for(n, grain, lanes,
+                      [&](std::size_t b, std::size_t e, std::size_t) {
+                        const std::lock_guard<std::mutex> lock(m);
+                        chunks.emplace_back(b, e);
+                      });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = chunk_set(1);
+  EXPECT_EQ(chunk_set(2), serial);
+  EXPECT_EQ(chunk_set(8), serial);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      par::parallel_for(100, 1, 4,
+                        [](std::size_t b, std::size_t, std::size_t) {
+                          if (b == 57) throw std::runtime_error("chunk 57");
+                        }),
+      std::runtime_error);
+  // The pool must remain serviceable after an exception drained through it.
+  std::atomic<std::size_t> total{0};
+  par::parallel_for(100, 1, 4,
+                    [&](std::size_t b, std::size_t e, std::size_t) {
+                      total.fetch_add(e - b);
+                    });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  std::atomic<std::size_t> total{0};
+  par::parallel_for(8, 1, 4, [&](std::size_t, std::size_t, std::size_t) {
+    par::parallel_for(10, 1, 4, [&](std::size_t b, std::size_t e,
+                                    std::size_t) { total.fetch_add(e - b); });
+  });
+  EXPECT_EQ(total.load(), 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism of the preprocessing paths
+
+sc::AlgoNgstReport ngst_run(std::size_t threads,
+                            spacefts::common::TemporalStack<std::uint16_t>& out) {
+  sc::AlgoNgstConfig config;
+  config.lambda = 60.0;
+  config.threads = threads;
+  const sc::AlgoNgst algo(config);
+  return algo.preprocess(out);
+}
+
+TEST(ParallelDeterminism, NgstStackBitIdenticalAcrossThreadCounts) {
+  sd::NgstSimulator sim(0x5EED);
+  sd::SceneParams scene;
+  scene.width = 64;
+  scene.height = 64;
+  auto base = sim.stack(8, scene);
+  spacefts::common::Rng rng(0x5EED2);
+  const auto mask = sf::UncorrelatedFaultModel(0.003).mask16(
+      base.cube().size(), rng);
+  sf::apply_mask<std::uint16_t>(base.cube().voxels(), mask);
+
+  auto serial = base;
+  const auto serial_report = ngst_run(1, serial);
+  // The fault injection must have left real work to do, or the test proves
+  // nothing.
+  ASSERT_GT(serial_report.pixels_corrected, 0u);
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  for (std::size_t threads : {std::size_t{2}, std::size_t{3},
+                              std::size_t{hw == 0 ? 4 : hw}, std::size_t{0}}) {
+    auto parallel = base;
+    const auto report = ngst_run(threads, parallel);
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+    EXPECT_EQ(report.pixels_examined, serial_report.pixels_examined);
+    EXPECT_EQ(report.pixels_corrected, serial_report.pixels_corrected);
+    EXPECT_EQ(report.bits_corrected, serial_report.bits_corrected);
+    EXPECT_EQ(report.lsb_mask, serial_report.lsb_mask);
+    EXPECT_EQ(report.msb_mask, serial_report.msb_mask);
+  }
+}
+
+TEST(ParallelDeterminism, OtisPlaneBitIdenticalAcrossThreadCounts) {
+  sd::OtisSceneGenerator gen(0x07150);
+  auto scene = gen.generate(sd::OtisSceneKind::kBlob);
+  // Corrupt the first band so the vote has candidates to repair.
+  auto plane = scene.radiance.plane_image(0);
+  spacefts::common::Rng rng(0x07151);
+  for (std::size_t i = 0; i < plane.size(); i += 37) {
+    auto px = plane.pixels();
+    px[i] = spacefts::common::bits_to_float(
+        spacefts::common::float_to_bits(px[i]) ^
+        (1u << (rng() % 31)));
+  }
+
+  auto run = [&](std::size_t threads) {
+    sc::AlgoOtisConfig config;
+    config.threads = threads;
+    const sc::AlgoOtis algo(config);
+    auto working = plane;
+    const auto report = algo.preprocess_plane(working, scene.wavelengths_um[0]);
+    return std::make_pair(std::move(working), report);
+  };
+  const auto [serial, serial_report] = run(1);
+  EXPECT_GT(serial_report.bit_corrected + serial_report.median_replaced, 0u);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{5}, std::size_t{0}}) {
+    const auto [parallel, report] = run(threads);
+    EXPECT_TRUE(parallel == serial) << "threads=" << threads;
+    EXPECT_EQ(report.out_of_bounds, serial_report.out_of_bounds);
+    EXPECT_EQ(report.outliers, serial_report.outliers);
+    EXPECT_EQ(report.trend_protected, serial_report.trend_protected);
+    EXPECT_EQ(report.bit_corrected, serial_report.bit_corrected);
+    EXPECT_EQ(report.median_replaced, serial_report.median_replaced);
+  }
+}
+
+TEST(ParallelDeterminism, OtisSpectralBitIdenticalAcrossThreadCounts) {
+  sd::OtisSceneGenerator gen(0x07152);
+  auto scene = gen.generate(sd::OtisSceneKind::kSpots);
+  auto run = [&](std::size_t threads) {
+    sc::AlgoOtisConfig config;
+    config.threads = threads;
+    const sc::AlgoOtis algo(config);
+    auto cube = scene.radiance;
+    (void)algo.preprocess_spectral(cube, scene.wavelengths_um);
+    return cube;
+  };
+  const auto serial = run(1);
+  EXPECT_TRUE(run(2) == serial);
+  EXPECT_TRUE(run(0) == serial);
+}
+
+// ---------------------------------------------------------------------------
+// Zero per-pixel allocation contract
+
+TEST(ParallelAllocation, StackPreprocessAllocatesO1NotPerPixel) {
+  sd::NgstSimulator sim(0xA110C);
+  sd::SceneParams scene;
+  scene.width = 64;
+  scene.height = 64;
+  auto stack = sim.stack(8, scene);
+  spacefts::common::Rng rng(0xA110C2);
+  const auto mask = sf::UncorrelatedFaultModel(0.003).mask16(
+      stack.cube().size(), rng);
+  sf::apply_mask<std::uint16_t>(stack.cube().voxels(), mask);
+
+  sc::AlgoNgstConfig config;
+  config.lambda = 60.0;
+  config.threads = 1;  // inline path: every allocation below is the algo's
+  const sc::AlgoNgst algo(config);
+
+  auto working = stack;  // copy outside the measured window
+  const std::size_t before = g_allocations.load();
+  (void)algo.preprocess(working);
+  const std::size_t allocations = g_allocations.load() - before;
+  // 4096 series are processed; the scratch set costs a small constant
+  // number of allocations (per-lane buffers + the per-row report table).
+  EXPECT_LT(allocations, 256u) << "per-pixel allocation crept back in";
+}
+
+}  // namespace

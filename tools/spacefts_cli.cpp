@@ -6,9 +6,10 @@
 ///   spacefts_cli corrupt <in.fits> <out.fits> <gamma0> [seed] [--header]
 ///       flip bits of the data units with probability gamma0 per bit;
 ///       --header additionally damages one structural keyword
-///   spacefts_cli ingest <in.fits> <out.fits> [lambda] [upsilon]
+///   spacefts_cli ingest <in.fits> <out.fits> [lambda] [upsilon] [--threads N]
 ///       run the full ingest layer (sanity + Algo_NGST) and write the
-///       repaired baseline
+///       repaired baseline; --threads selects the preprocessing worker
+///       lanes (0 = all hardware threads; output is identical either way)
 ///   spacefts_cli info <in.fits>
 ///       print HDU headers and geometry
 ///   spacefts_cli psi <a.fits> <b.fits>
@@ -33,7 +34,8 @@ int usage() {
                "usage:\n"
                "  spacefts_cli gen <out.fits> [frames=64] [side=32] [seed=1]\n"
                "  spacefts_cli corrupt <in> <out> <gamma0> [seed=2] [--header]\n"
-               "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]\n"
+               "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]"
+               " [--threads N]\n"
                "  spacefts_cli info <in>\n"
                "  spacefts_cli psi <a> <b>\n");
   return 2;
@@ -138,14 +140,30 @@ int cmd_ingest(int argc, char** argv) {
   if (argc < 4) return usage();
   const std::string in = argv[2];
   const std::string out = argv[3];
-  const double lambda = argc > 4 ? std::strtod(argv[4], nullptr) : 80.0;
+  // Positional [lambda] [upsilon] first; --threads N may appear anywhere
+  // after <out>.
+  std::vector<std::string> positional;
+  std::size_t threads = 1;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) return usage();
+      threads = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const double lambda =
+      !positional.empty() ? std::strtod(positional[0].c_str(), nullptr) : 80.0;
   const std::size_t upsilon =
-      argc > 5 ? std::strtoul(argv[5], nullptr, 10) : 4;
+      positional.size() > 1 ? std::strtoul(positional[1].c_str(), nullptr, 10)
+                            : 4;
 
   const auto bytes = spacefts::fits::read_bytes(in);
   spacefts::ingest::IngestConfig config;
   config.algo.lambda = lambda;
   config.algo.upsilon = upsilon;
+  config.algo.threads = threads;
   config.expectation = probe_expectation(bytes);
 
   const spacefts::ingest::IngestGuard guard(config);
