@@ -118,6 +118,20 @@ inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
   std::fclose(f);
 }
 
+/// Appends pre-rendered JSON-lines text to \p path, the shared accumulation
+/// pattern of every BENCH_*.json artifact.  Returns false (with a message on
+/// stderr) when the file cannot be opened.
+inline bool append_jsonl(const std::string& text, const char* path) {
+  std::FILE* f = std::fopen(path, "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot append to %s\n", path);
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
 /// Prints a table header: the x-label followed by one column per algorithm.
 inline void print_header(const char* x_label,
                          const std::vector<TemporalAlgorithm>& roster) {

@@ -1,0 +1,48 @@
+/// \file fault_campaign.cpp
+/// End-to-end fault-injection campaign over the distributed pipeline.
+///
+/// Sweeps the default (Γ₀, crash-prob, link-loss, Λ) grid with seeded
+/// trials, prints the per-cell survival / coverage / makespan table, and
+/// appends the JSON-lines record to BENCH_campaign.json.  Exits non-zero
+/// when the robustness gate fails (a dead trial, or coverage < 100% on a
+/// clean-memory cell), so the bench doubles as a regression tripwire.
+///
+///   fault_campaign [seed=42] [trials=3] [threads=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "spacefts/campaign/campaign.hpp"
+
+int main(int argc, char** argv) {
+  spacefts::campaign::CampaignConfig config;
+  if (argc > 1) config.seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) config.trials = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) config.threads = std::strtoul(argv[3], nullptr, 10);
+
+  const auto report = spacefts::campaign::run_campaign(config);
+
+  std::printf("%8s %8s %10s %9s %9s %9s %9s\n", "gamma0", "crash",
+              "link_loss", "survived", "min_cov", "corr", "makespan");
+  for (const auto& cell : report.cells) {
+    std::printf("%8.4g %8.4g %10.4g %6zu/%-2zu %9.4f %9.4f %9.6f\n",
+                cell.gamma0, cell.crash_prob, cell.link_loss, cell.survived,
+                cell.trials, cell.min_coverage, cell.correction_rate,
+                cell.mean_makespan_s);
+  }
+
+  bench::append_jsonl(spacefts::campaign::to_jsonl(report),
+                      "BENCH_campaign.json");
+
+  std::string diagnostics;
+  const std::size_t violations =
+      spacefts::campaign::enforce(report, diagnostics);
+  if (violations > 0) {
+    std::fprintf(stderr, "fault_campaign: %zu violation(s)\n%s", violations,
+                 diagnostics.c_str());
+    return 1;
+  }
+  std::printf("fault_campaign: %zu/%zu trials survived, gate pass\n",
+              report.trials_survived, report.trials_run);
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "spacefts/campaign/campaign.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "spacefts/common/parallel.hpp"
+#include "spacefts/common/random.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/metrics/aggregate.hpp"
+
+namespace spacefts::campaign {
+namespace {
+
+/// Everything the aggregator needs from one trial.  Slots are preallocated
+/// and indexed by (cell, trial), so the parallel phase never contends and
+/// the serial aggregation phase sees a thread-count-independent order.
+struct TrialRecord {
+  bool survived = false;
+  double coverage = 0.0;
+  double makespan_s = 0.0;
+  std::size_t faults_injected = 0;
+  std::size_t pixels_corrected = 0;
+  std::size_t worker_crashes = 0;
+  std::size_t messages_dropped = 0;
+  std::size_t messages_corrupted = 0;
+  std::size_t crc_failures = 0;
+  std::size_t byzantine_rejected = 0;
+  std::size_t link_retries = 0;
+  std::size_t degraded_fragments = 0;
+  std::size_t pixel_frames = 0;  ///< pixels * frames, for rate normalisation
+};
+
+/// One grid point, in the fixed Γ₀-major enumeration order.
+struct Cell {
+  double gamma0;
+  double crash_prob;
+  double link_loss;
+  double lambda;
+};
+
+void validate(const CampaignConfig& config) {
+  auto check_axis = [](const std::vector<double>& axis, const char* name,
+                       double lo, double hi) {
+    if (axis.empty()) {
+      throw std::invalid_argument(std::string("campaign: empty axis ") + name);
+    }
+    for (double v : axis) {
+      if (!(v >= lo && v <= hi)) {
+        throw std::invalid_argument(std::string("campaign: ") + name +
+                                    " value out of range");
+      }
+    }
+  };
+  check_axis(config.gamma0_grid, "gamma0", 0.0, 1.0);
+  check_axis(config.crash_grid, "crash", 0.0, 1.0);
+  check_axis(config.link_loss_grid, "link_loss", 0.0, 1.0);
+  check_axis(config.lambda_grid, "lambda", 0.0, 100.0);
+  if (config.trials == 0) {
+    throw std::invalid_argument("campaign: trials must be > 0");
+  }
+  if (config.scene_side == 0 || config.frames == 0 ||
+      config.fragment_side == 0 ||
+      config.scene_side % config.fragment_side != 0) {
+    throw std::invalid_argument(
+        "campaign: scene_side must be a positive multiple of fragment_side");
+  }
+}
+
+std::vector<Cell> enumerate_cells(const CampaignConfig& config) {
+  std::vector<Cell> cells;
+  cells.reserve(config.gamma0_grid.size() * config.crash_grid.size() *
+                config.link_loss_grid.size() * config.lambda_grid.size());
+  for (double g : config.gamma0_grid)
+    for (double c : config.crash_grid)
+      for (double l : config.link_loss_grid)
+        for (double lam : config.lambda_grid)
+          cells.push_back({g, c, l, lam});
+  return cells;
+}
+
+/// Stateless per-trial seed: a SplitMix64 chain over (campaign seed, cell,
+/// trial).  Depends only on indices, never on execution order, so the same
+/// trial always replays the same run regardless of thread count.
+std::uint64_t trial_seed(std::uint64_t seed, std::size_t cell,
+                         std::size_t trial) {
+  std::uint64_t state = seed;
+  (void)common::splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(cell) + 1);
+  (void)common::splitmix64(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(trial) + 1);
+  return common::splitmix64(state);
+}
+
+TrialRecord run_trial(const CampaignConfig& config, const Cell& cell,
+                      std::uint64_t seed) {
+  TrialRecord rec;
+  try {
+    datagen::NgstSimulator gen(seed);
+    datagen::SceneParams scene;
+    scene.width = config.scene_side;
+    scene.height = config.scene_side;
+    const auto readouts = gen.stack(config.frames, scene);
+
+    dist::PipelineConfig pc;
+    pc.workers = config.workers;
+    pc.fragment_side = config.fragment_side;
+    pc.gamma0 = cell.gamma0;
+    pc.worker_crash_prob = cell.crash_prob;
+    pc.link.faults.drop_prob = cell.link_loss;
+    pc.link.faults.corrupt_prob = cell.link_loss;
+    pc.link.faults.duplicate_prob = cell.link_loss / 2.0;
+    pc.link.faults.delay_prob = cell.link_loss;
+    pc.preprocess = config.preprocess;
+    pc.algo.lambda = cell.lambda;
+    pc.max_link_retries = config.max_link_retries;
+
+    common::Rng rng = gen.rng().split();
+    const auto result = dist::run_pipeline(readouts, pc, rng);
+
+    rec.survived = true;
+    rec.coverage = result.coverage;
+    rec.makespan_s = result.makespan_s;
+    rec.faults_injected = result.faults_injected;
+    rec.pixels_corrected = result.pixels_corrected;
+    rec.worker_crashes = result.worker_crashes;
+    rec.messages_dropped = result.messages_dropped;
+    rec.messages_corrupted = result.messages_corrupted;
+    rec.crc_failures = result.crc_failures;
+    rec.byzantine_rejected = result.byzantine_rejected;
+    rec.link_retries = result.link_retries;
+    rec.degraded_fragments = result.degraded_fragments;
+    rec.pixel_frames = config.scene_side * config.scene_side * config.frames;
+  } catch (const std::exception&) {
+    // A throwing pipeline is precisely the regression the campaign exists
+    // to catch; record the death and keep sweeping.
+    rec.survived = false;
+  }
+  return rec;
+}
+
+void fmt(std::string& out, const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  out += buf;
+}
+
+}  // namespace
+
+CampaignReport run_campaign(const CampaignConfig& config) {
+  validate(config);
+  const std::vector<Cell> cells = enumerate_cells(config);
+  const std::size_t total = cells.size() * config.trials;
+  std::vector<TrialRecord> records(total);
+
+  const std::size_t lanes = common::parallel::resolve_threads(config.threads);
+  common::parallel::parallel_for(
+      total, 1, lanes,
+      [&](std::size_t begin, std::size_t end, std::size_t /*lane*/) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::size_t cell = i / config.trials;
+          const std::size_t trial = i % config.trials;
+          records[i] = run_trial(config, cells[cell],
+                                 trial_seed(config.seed, cell, trial));
+        }
+      });
+
+  CampaignReport report;
+  report.cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    CellResult cr;
+    cr.gamma0 = cells[c].gamma0;
+    cr.crash_prob = cells[c].crash_prob;
+    cr.link_loss = cells[c].link_loss;
+    cr.lambda = cells[c].lambda;
+    cr.trials = config.trials;
+
+    metrics::RunningStats coverage, makespan;
+    std::size_t corrected = 0, pixel_frames = 0;
+    for (std::size_t t = 0; t < config.trials; ++t) {
+      const TrialRecord& rec = records[c * config.trials + t];
+      report.trials_run += 1;
+      if (!rec.survived) continue;
+      report.trials_survived += 1;
+      cr.survived += 1;
+      coverage.add(rec.coverage);
+      makespan.add(rec.makespan_s);
+      corrected += rec.pixels_corrected;
+      pixel_frames += rec.pixel_frames;
+      cr.faults_injected += rec.faults_injected;
+      cr.worker_crashes += rec.worker_crashes;
+      cr.messages_dropped += rec.messages_dropped;
+      cr.messages_corrupted += rec.messages_corrupted;
+      cr.crc_failures += rec.crc_failures;
+      cr.byzantine_rejected += rec.byzantine_rejected;
+      cr.link_retries += rec.link_retries;
+      cr.degraded_fragments += rec.degraded_fragments;
+    }
+    cr.mean_coverage = coverage.count() ? coverage.mean() : 0.0;
+    cr.min_coverage = coverage.count() ? coverage.min() : 0.0;
+    if (cr.faults_injected > 0) {
+      cr.correction_rate = static_cast<double>(corrected) /
+                           static_cast<double>(cr.faults_injected);
+    }
+    if (cells[c].gamma0 == 0.0 && pixel_frames > 0) {
+      cr.false_alarm_per_mpixel =
+          static_cast<double>(corrected) /
+          (static_cast<double>(pixel_frames) / 1.0e6);
+    }
+    cr.mean_makespan_s = makespan.mean();
+    cr.max_makespan_s = makespan.max();
+    report.cells.push_back(cr);
+  }
+  return report;
+}
+
+std::string to_jsonl(const CampaignReport& report) {
+  std::string out;
+  out.reserve(report.cells.size() * 512);
+  for (const CellResult& c : report.cells) {
+    out += "{\"bench\":\"fault_campaign\"";
+    fmt(out, ",\"gamma0\":%.10g", c.gamma0);
+    fmt(out, ",\"crash_prob\":%.10g", c.crash_prob);
+    fmt(out, ",\"link_loss\":%.10g", c.link_loss);
+    fmt(out, ",\"lambda\":%.10g", c.lambda);
+    out += ",\"trials\":" + std::to_string(c.trials);
+    out += ",\"survived\":" + std::to_string(c.survived);
+    fmt(out, ",\"mean_coverage\":%.10g", c.mean_coverage);
+    fmt(out, ",\"min_coverage\":%.10g", c.min_coverage);
+    fmt(out, ",\"correction_rate\":%.10g", c.correction_rate);
+    fmt(out, ",\"false_alarm_per_mpixel\":%.10g", c.false_alarm_per_mpixel);
+    fmt(out, ",\"mean_makespan_s\":%.10g", c.mean_makespan_s);
+    fmt(out, ",\"max_makespan_s\":%.10g", c.max_makespan_s);
+    out += ",\"faults_injected\":" + std::to_string(c.faults_injected);
+    out += ",\"worker_crashes\":" + std::to_string(c.worker_crashes);
+    out += ",\"messages_dropped\":" + std::to_string(c.messages_dropped);
+    out += ",\"messages_corrupted\":" + std::to_string(c.messages_corrupted);
+    out += ",\"crc_failures\":" + std::to_string(c.crc_failures);
+    out += ",\"byzantine_rejected\":" + std::to_string(c.byzantine_rejected);
+    out += ",\"link_retries\":" + std::to_string(c.link_retries);
+    out += ",\"degraded_fragments\":" + std::to_string(c.degraded_fragments);
+    out += "}\n";
+  }
+  return out;
+}
+
+void append_jsonl(const CampaignReport& report, const std::string& path) {
+  std::ofstream stream(path, std::ios::app);
+  if (!stream) {
+    throw std::runtime_error("campaign: cannot open " + path);
+  }
+  stream << to_jsonl(report);
+}
+
+std::size_t enforce(const CampaignReport& report, std::string& diagnostics) {
+  std::size_t violations = 0;
+  for (const CellResult& c : report.cells) {
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "cell gamma0=%.4g crash=%.4g link_loss=%.4g lambda=%.4g: ",
+                  c.gamma0, c.crash_prob, c.link_loss, c.lambda);
+    if (c.survived < c.trials) {
+      ++violations;
+      diagnostics += head;
+      diagnostics += std::to_string(c.trials - c.survived) + " of " +
+                     std::to_string(c.trials) + " trials did not survive\n";
+    }
+    if (c.gamma0 == 0.0 && c.min_coverage < 1.0) {
+      ++violations;
+      diagnostics += head;
+      fmt(diagnostics, "coverage %.10g < 1 on a clean-memory cell\n",
+          c.min_coverage);
+    }
+  }
+  return violations;
+}
+
+}  // namespace spacefts::campaign

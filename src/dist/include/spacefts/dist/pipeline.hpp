@@ -14,6 +14,17 @@
 /// processing.  Comparing runs that differ only in `preprocess` reproduces
 /// the end-to-end claim — input preprocessing protects the *output* product
 /// and the downlink compression ratio.
+///
+/// On top of the memory leg, the link itself is fault-prone
+/// (LinkModel::faults): scatter and gather messages can be dropped,
+/// corrupted, duplicated, or delayed.  Every tile message is CRC-32 framed
+/// (spacefts::edac), so corruption surfaces as a NACK; the master retries a
+/// failed fragment with exponential backoff + seeded jitter under a bounded
+/// budget, screens gathered tiles against physical flux bounds (byzantine
+/// rejection), and — when a fragment exhausts its budget — completes the
+/// product with a *flagged* fallback tile (the raw corrupted payload when
+/// one arrived, else a median fill from healthy neighbour tiles) and
+/// reports coverage < 100% instead of hanging or crashing.
 #pragma once
 
 #include <cstdint>
@@ -59,6 +70,28 @@ struct PipelineConfig {
   /// Master-side detection timeout for a silent worker, measured from the
   /// fragment's dispatch.
   double crash_timeout_s = 0.05;
+  /// ---- Link-level fault tolerance ----------------------------------
+  /// Extra dispatch attempts the master may spend per fragment recovering
+  /// from link faults (timeout, CRC failure, byzantine result); 0 sends a
+  /// first failure straight to degraded completion.  Crash reassignment
+  /// keeps its own bound and does not consume this budget.
+  std::size_t max_link_retries = 3;
+  /// Backoff before link retry k: retry_backoff_s * factor^(k-1), scaled
+  /// by a seeded uniform jitter factor in [1 - jitter, 1 + jitter].
+  double retry_backoff_s = 2e-3;
+  double retry_backoff_factor = 2.0;
+  double retry_jitter = 0.25;  ///< jitter fraction, in [0, 1]
+  /// The master declares a data message lost after this much silence.
+  double link_timeout_s = 0.05;
+  /// Master-side plausibility screen on gathered tiles: a tile with any
+  /// non-finite pixel, or any pixel outside [result_flux_lo,
+  /// result_flux_hi], is rejected as byzantine and the fragment retried.
+  /// The default bounds are the physical envelope of 16-bit ramp slopes
+  /// with a wide guard band, so legitimately fault-corrupted (but sane)
+  /// data is never rejected — only computational garbage is.
+  bool reject_byzantine = true;
+  float result_flux_lo = -1.0e6f;
+  float result_flux_hi = 1.0e6f;
   PreprocessMode preprocess = PreprocessMode::kAlgoNgst;
   core::AlgoNgstConfig algo{};
   ngst::CrRejectParams cr{};
@@ -68,6 +101,15 @@ struct PipelineConfig {
   /// bit-identical for every value.
   std::size_t threads = 1;
 };
+
+/// How one fragment's science product was obtained.
+enum class FragmentOutcome : std::uint8_t {
+  kHealthy = 0,          ///< delivered through the full protected path
+  kDegradedCorrupt = 1,  ///< budget exhausted; raw corrupted payload kept
+  kDegradedFilled = 2,   ///< budget exhausted; median neighbour fill
+};
+
+[[nodiscard]] const char* to_string(FragmentOutcome outcome) noexcept;
 
 /// End-to-end result of one baseline.
 struct PipelineResult {
@@ -79,12 +121,30 @@ struct PipelineResult {
   std::size_t pixels_corrected = 0; ///< by the preprocessing stage
   std::size_t worker_crashes = 0;   ///< crash events during the baseline
   std::size_t reassignments = 0;    ///< fragments re-dispatched after timeout
+  // ---- Link accounting ------------------------------------------------
+  std::size_t messages_sent = 0;       ///< data-plane sends (scatter+gather)
+  std::size_t messages_dropped = 0;    ///< lost in transit
+  std::size_t messages_corrupted = 0;  ///< payload bit flips in transit
+  std::size_t messages_duplicated = 0; ///< extra deliveries (receiver dedups)
+  std::size_t messages_delayed = 0;    ///< extra-latency events
+  std::size_t crc_failures = 0;        ///< corruptions caught by the framing
+  std::size_t byzantine_rejected = 0;  ///< gathered tiles failing bounds
+  std::size_t link_retries = 0;        ///< fragment retries spent on the link
+  std::size_t degraded_fragments = 0;  ///< fragments completed via fallback
+  /// One FragmentOutcome per fragment, row-major tile order.
+  std::vector<FragmentOutcome> fragment_outcomes;
+  /// Healthy fragments / fragments: 1.0 means a fully protected product.
+  double coverage = 1.0;
   std::vector<double> worker_busy_s;
 };
 
-/// Runs one baseline through the simulated system.
+/// Runs one baseline through the simulated system.  Always terminates:
+/// every fragment either completes healthy or is finished with a flagged
+/// fallback tile once its retry budget is exhausted.
 /// \throws std::invalid_argument if the stack is not tileable by
-/// fragment_side, or workers == 0.
+/// fragment_side, workers == 0, any probability (gamma0,
+/// worker_crash_prob, link fault rates) is outside [0, 1], a timeout is
+/// non-positive, or the retry/backoff/bounds parameters are malformed.
 [[nodiscard]] PipelineResult run_pipeline(
     const common::TemporalStack<std::uint16_t>& readouts,
     const PipelineConfig& config, common::Rng& rng);

@@ -16,6 +16,8 @@
 #include <queue>
 #include <vector>
 
+#include "spacefts/fault/message_faults.hpp"
+
 namespace spacefts::dist {
 
 /// Event-driven virtual clock.
@@ -62,10 +64,14 @@ class Simulator {
   std::size_t executed_ = 0;
 };
 
-/// Point-to-point link: latency plus serialisation delay.
+/// Point-to-point link: latency plus serialisation delay, with an optional
+/// per-message fault model (drop / corrupt / duplicate / delay) applied to
+/// the data-plane traffic that crosses it.
 struct LinkModel {
   double latency_s = 50e-6;          ///< per-message latency (Myrinet-class)
   double bandwidth_bps = 1.28e9;     ///< bits per second
+  /// Link-level fault injection; all-zero (the default) is a perfect link.
+  fault::MessageFaultConfig faults{};
 
   /// Time to move \p bytes across the link.
   [[nodiscard]] double transfer_time(std::size_t bytes) const noexcept {

@@ -1,0 +1,59 @@
+#include "spacefts/edac/crc32.hpp"
+
+#include <array>
+
+namespace spacefts::edac {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t crc) noexcept {
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : bytes) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void frame_append_crc(std::vector<std::uint8_t>& payload) {
+  const std::uint32_t c = crc32(payload);
+  payload.push_back(static_cast<std::uint8_t>(c & 0xFFu));
+  payload.push_back(static_cast<std::uint8_t>((c >> 8) & 0xFFu));
+  payload.push_back(static_cast<std::uint8_t>((c >> 16) & 0xFFu));
+  payload.push_back(static_cast<std::uint8_t>((c >> 24) & 0xFFu));
+}
+
+bool frame_verify(std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < 4) return false;
+  const auto payload = frame.first(frame.size() - 4);
+  const auto trailer = frame.last(4);
+  const std::uint32_t stored = static_cast<std::uint32_t>(trailer[0]) |
+                               (static_cast<std::uint32_t>(trailer[1]) << 8) |
+                               (static_cast<std::uint32_t>(trailer[2]) << 16) |
+                               (static_cast<std::uint32_t>(trailer[3]) << 24);
+  return crc32(payload) == stored;
+}
+
+std::span<const std::uint8_t> frame_payload(
+    std::span<const std::uint8_t> frame) noexcept {
+  if (frame.size() < 4) return {};
+  return frame.first(frame.size() - 4);
+}
+
+}  // namespace spacefts::edac

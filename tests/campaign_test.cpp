@@ -1,0 +1,187 @@
+// Tests for the fault-injection campaign harness — grid sweep determinism,
+// termination under link loss, degraded completion, and the CRC framing
+// sweep that underpins the link-level detection claim.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spacefts/campaign/campaign.hpp"
+#include "spacefts/common/random.hpp"
+#include "spacefts/edac/crc32.hpp"
+#include "spacefts/fault/message_faults.hpp"
+
+namespace sc = spacefts::campaign;
+namespace se = spacefts::edac;
+namespace sf = spacefts::fault;
+using spacefts::common::Rng;
+
+namespace {
+
+/// A grid small enough for unit-test latency but exercising every fault
+/// dimension at once.
+sc::CampaignConfig small_campaign() {
+  sc::CampaignConfig config;
+  config.gamma0_grid = {0.0, 0.005};
+  config.crash_grid = {0.3};
+  config.link_loss_grid = {0.0, 0.08};
+  config.lambda_grid = {80.0};
+  config.trials = 2;
+  config.seed = 7;
+  config.scene_side = 32;
+  config.frames = 12;
+  config.workers = 3;
+  config.fragment_side = 16;
+  return config;
+}
+
+}  // namespace
+
+TEST(Campaign, ValidatesConfiguration) {
+  auto config = small_campaign();
+  config.gamma0_grid.clear();
+  EXPECT_THROW((void)sc::run_campaign(config), std::invalid_argument);
+
+  config = small_campaign();
+  config.trials = 0;
+  EXPECT_THROW((void)sc::run_campaign(config), std::invalid_argument);
+
+  config = small_campaign();
+  config.crash_grid = {1.5};
+  EXPECT_THROW((void)sc::run_campaign(config), std::invalid_argument);
+
+  config = small_campaign();
+  config.fragment_side = 10;  // 32 % 10 != 0
+  EXPECT_THROW((void)sc::run_campaign(config), std::invalid_argument);
+}
+
+TEST(Campaign, GridEnumerationIsComplete) {
+  const auto config = small_campaign();
+  const auto report = sc::run_campaign(config);
+  EXPECT_EQ(report.cells.size(), 4u);  // 2 x 1 x 2 x 1
+  EXPECT_EQ(report.trials_run, 8u);
+  for (const auto& cell : report.cells) EXPECT_EQ(cell.trials, 2u);
+}
+
+// Acceptance (a): identical seeds => bit-identical campaign JSON across
+// thread counts.
+TEST(Campaign, JsonIsBitIdenticalAcrossThreadCounts) {
+  auto config = small_campaign();
+  config.threads = 1;
+  const auto serial = sc::to_jsonl(sc::run_campaign(config));
+  config.threads = 4;
+  const auto threaded = sc::to_jsonl(sc::run_campaign(config));
+  config.threads = 0;  // all hardware threads
+  const auto maximal = sc::to_jsonl(sc::run_campaign(config));
+  EXPECT_EQ(serial, threaded);
+  EXPECT_EQ(serial, maximal);
+  EXPECT_NE(serial.find("\"bench\":\"fault_campaign\""), std::string::npos);
+}
+
+TEST(Campaign, DifferentSeedsDiverge) {
+  auto config = small_campaign();
+  const auto a = sc::to_jsonl(sc::run_campaign(config));
+  config.seed = 8;
+  const auto b = sc::to_jsonl(sc::run_campaign(config));
+  EXPECT_NE(a, b);
+}
+
+// Acceptance (b): link loss > 0 with retries enabled always terminates and
+// reports coverage.
+TEST(Campaign, SurvivesLinkLossWithRetries) {
+  auto config = small_campaign();
+  config.link_loss_grid = {0.15};
+  config.max_link_retries = 6;
+  const auto report = sc::run_campaign(config);
+  EXPECT_EQ(report.trials_survived, report.trials_run);
+  bool saw_link_activity = false;
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.survived, cell.trials);
+    EXPECT_GE(cell.min_coverage, 0.0);
+    EXPECT_LE(cell.min_coverage, 1.0);
+    EXPECT_GE(cell.mean_coverage, cell.min_coverage);
+    if (cell.messages_dropped + cell.messages_corrupted > 0) {
+      saw_link_activity = true;
+    }
+  }
+  EXPECT_TRUE(saw_link_activity);
+}
+
+// Acceptance (c): with retries disabled, hostile links produce flagged
+// fallback tiles and coverage < 100% — never a hang or a dead trial.
+TEST(Campaign, NoRetriesDegradesInsteadOfDying) {
+  auto config = small_campaign();
+  config.gamma0_grid = {0.0};
+  config.crash_grid = {0.0};
+  config.link_loss_grid = {0.25};
+  config.max_link_retries = 0;
+  config.trials = 4;
+  const auto report = sc::run_campaign(config);
+  ASSERT_EQ(report.cells.size(), 1u);
+  const auto& cell = report.cells[0];
+  EXPECT_EQ(cell.survived, cell.trials);
+  EXPECT_GT(cell.degraded_fragments, 0u);
+  EXPECT_LT(cell.min_coverage, 1.0);
+  EXPECT_EQ(cell.link_retries, 0u);
+}
+
+TEST(Campaign, EnforcePassesOnHealthyReport) {
+  auto config = small_campaign();
+  config.link_loss_grid = {0.0, 0.05};
+  const auto report = sc::run_campaign(config);
+  std::string diagnostics;
+  EXPECT_EQ(sc::enforce(report, diagnostics), 0u) << diagnostics;
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(Campaign, EnforceFlagsRegressions) {
+  sc::CampaignReport report;
+  sc::CellResult dead;
+  dead.gamma0 = 0.002;
+  dead.trials = 3;
+  dead.survived = 1;  // two dead trials: one violation
+  report.cells.push_back(dead);
+  sc::CellResult holey;
+  holey.gamma0 = 0.0;
+  holey.trials = 2;
+  holey.survived = 2;
+  holey.min_coverage = 0.75;  // clean memory must stay fully covered
+  report.cells.push_back(holey);
+  std::string diagnostics;
+  EXPECT_EQ(sc::enforce(report, diagnostics), 2u);
+  EXPECT_NE(diagnostics.find("did not survive"), std::string::npos);
+  EXPECT_NE(diagnostics.find("clean-memory"), std::string::npos);
+}
+
+TEST(Campaign, JsonlIsOneRecordPerCell) {
+  const auto report = sc::run_campaign(small_campaign());
+  const auto jsonl = sc::to_jsonl(report);
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, report.cells.size());
+  // Every line is a self-contained object.
+  EXPECT_EQ(jsonl.find("{\"bench\""), 0u);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+// Acceptance (d): the CRC framing detects every injected corruption in a
+// 10k-message sweep — the property the pipeline's NACK path rests on.
+TEST(Campaign, CrcFramingDetectsEveryCorruptionIn10kMessages) {
+  sf::MessageFaultConfig fault_config;
+  fault_config.corrupt_prob = 1.0;
+  fault_config.corrupt_gamma0 = 2e-4;
+  const sf::MessageFaultModel model(fault_config);
+
+  Rng rng(99);
+  std::size_t corrupted_bits_total = 0;
+  for (int message = 0; message < 10000; ++message) {
+    std::vector<std::uint8_t> frame(16 + rng.below(240));
+    for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng());
+    se::frame_append_crc(frame);
+    ASSERT_TRUE(se::frame_verify(frame));
+    corrupted_bits_total += model.corrupt(frame, rng);
+    EXPECT_FALSE(se::frame_verify(frame)) << "message " << message;
+  }
+  EXPECT_GE(corrupted_bits_total, 10000u);  // at least one flip per message
+}

@@ -2,6 +2,7 @@
 // the end-to-end master/worker pipeline.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -230,4 +231,205 @@ TEST(Pipeline, ModeNamesAreStable) {
   EXPECT_STREQ(sd::to_string(sd::PreprocessMode::kAlgoNgst), "Algo_NGST");
   EXPECT_STREQ(sd::to_string(sd::PreprocessMode::kMedian3), "median-3");
   EXPECT_STREQ(sd::to_string(sd::PreprocessMode::kBitVote3), "bitvote-3");
+}
+
+TEST(Pipeline, OutcomeNamesAreStable) {
+  EXPECT_STREQ(sd::to_string(sd::FragmentOutcome::kHealthy), "healthy");
+  EXPECT_STREQ(sd::to_string(sd::FragmentOutcome::kDegradedCorrupt),
+               "degraded-corrupt");
+  EXPECT_STREQ(sd::to_string(sd::FragmentOutcome::kDegradedFilled),
+               "degraded-filled");
+}
+
+TEST(Pipeline, ValidatesProbabilitiesAndTimeouts) {
+  Rng rng(30);
+  const auto baseline = small_baseline(31);
+  auto config = small_config();
+
+  config.gamma0 = -0.1;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+  config.gamma0 = 1.5;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+
+  config = small_config();
+  config.worker_crash_prob = -0.2;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+  config.worker_crash_prob = 1.01;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+
+  config = small_config();
+  config.crash_timeout_s = 0.0;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+  config.crash_timeout_s = -1.0;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+
+  config = small_config();
+  config.link.faults.drop_prob = 1.2;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+
+  config = small_config();
+  config.retry_jitter = 1.5;
+  EXPECT_THROW((void)sd::run_pipeline(baseline.readouts, config, rng),
+               std::invalid_argument);
+
+  // Boundary values are legal.
+  config = small_config();
+  config.gamma0 = 0.0;
+  config.worker_crash_prob = 0.0;
+  EXPECT_NO_THROW((void)sd::run_pipeline(baseline.readouts, config, rng));
+}
+
+TEST(Pipeline, FaultAccountingIsConsistentAcrossModes) {
+  // Identical seeds must inject identical faults and crashes whatever the
+  // preprocessing mode: the fault and crash streams are decoupled from the
+  // (mode-dependent) data path.  In particular the kNone path must populate
+  // the counters, not skip the accounting.
+  const auto baseline = small_baseline(32);
+  auto config = small_config();
+  config.gamma0 = 0.01;
+  config.worker_crash_prob = 0.3;
+  config.link.faults.drop_prob = 0.05;
+  config.link.faults.corrupt_prob = 0.05;
+
+  std::vector<sd::PipelineResult> results;
+  for (const auto mode :
+       {sd::PreprocessMode::kNone, sd::PreprocessMode::kAlgoNgst,
+        sd::PreprocessMode::kMedian3, sd::PreprocessMode::kBitVote3}) {
+    config.preprocess = mode;
+    Rng rng(33);
+    results.push_back(sd::run_pipeline(baseline.readouts, config, rng));
+  }
+  EXPECT_GT(results[0].faults_injected, 0u);  // kNone populates the counter
+  for (std::size_t m = 1; m < results.size(); ++m) {
+    EXPECT_EQ(results[m].faults_injected, results[0].faults_injected)
+        << sd::to_string(config.preprocess);
+    EXPECT_EQ(results[m].worker_crashes, results[0].worker_crashes);
+    EXPECT_EQ(results[m].messages_dropped, results[0].messages_dropped);
+    EXPECT_EQ(results[m].messages_corrupted, results[0].messages_corrupted);
+  }
+}
+
+// ----------------------------------------------------------- link tolerance
+
+TEST(Pipeline, PerfectLinkReportsFullCoverage) {
+  Rng rng(40);
+  const auto baseline = small_baseline(41);
+  const auto result = sd::run_pipeline(baseline.readouts, small_config(), rng);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);
+  EXPECT_EQ(result.degraded_fragments, 0u);
+  EXPECT_EQ(result.messages_dropped, 0u);
+  EXPECT_EQ(result.crc_failures, 0u);
+  ASSERT_EQ(result.fragment_outcomes.size(), result.fragments);
+  for (const auto outcome : result.fragment_outcomes) {
+    EXPECT_EQ(outcome, sd::FragmentOutcome::kHealthy);
+  }
+}
+
+TEST(Pipeline, LossyLinkWithRetriesTerminatesAndReportsCoverage) {
+  const auto baseline = small_baseline(42);
+  auto config = small_config();
+  config.link.faults.drop_prob = 0.2;
+  config.link.faults.corrupt_prob = 0.1;
+  config.link.faults.delay_prob = 0.2;
+  config.link.faults.duplicate_prob = 0.1;
+  config.max_link_retries = 8;
+  Rng rng(43);
+  const auto result = sd::run_pipeline(baseline.readouts, config, rng);
+  EXPECT_EQ(result.fragments, 4u);
+  EXPECT_GT(result.messages_dropped + result.messages_corrupted, 0u);
+  EXPECT_GT(result.link_retries, 0u);
+  EXPECT_GE(result.coverage, 0.0);
+  EXPECT_LE(result.coverage, 1.0);
+  ASSERT_EQ(result.fragment_outcomes.size(), result.fragments);
+}
+
+TEST(Pipeline, LossyLinkIsDeterministicPerSeed) {
+  const auto baseline = small_baseline(44);
+  auto config = small_config();
+  config.link.faults.drop_prob = 0.15;
+  config.link.faults.corrupt_prob = 0.15;
+  config.gamma0 = 0.005;
+  Rng a(45), b(45);
+  const auto ra = sd::run_pipeline(baseline.readouts, config, a);
+  const auto rb = sd::run_pipeline(baseline.readouts, config, b);
+  EXPECT_EQ(ra.flux, rb.flux);
+  EXPECT_EQ(ra.coverage, rb.coverage);
+  EXPECT_EQ(ra.link_retries, rb.link_retries);
+  EXPECT_EQ(ra.fragment_outcomes, rb.fragment_outcomes);
+}
+
+TEST(Pipeline, RetriesDisabledDegradesInsteadOfHanging) {
+  const auto baseline = small_baseline(46);
+  auto config = small_config();
+  config.link.faults.drop_prob = 0.5;
+  config.max_link_retries = 0;
+  Rng rng(47);
+  const auto result = sd::run_pipeline(baseline.readouts, config, rng);
+  EXPECT_GT(result.degraded_fragments, 0u);
+  EXPECT_LT(result.coverage, 1.0);
+  EXPECT_EQ(result.link_retries, 0u);
+  std::size_t flagged = 0;
+  for (const auto outcome : result.fragment_outcomes) {
+    flagged += outcome != sd::FragmentOutcome::kHealthy ? 1 : 0;
+  }
+  EXPECT_EQ(flagged, result.degraded_fragments);
+  // The product is complete: every pixel exists and is finite (degraded
+  // tiles were filled, not left as holes or NaNs).
+  for (const float v : result.flux.pixels()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Pipeline, EveryLinkCorruptionIsCaughtByCrc) {
+  // Corruption-only link (no drops): each corrupted message must surface as
+  // exactly one CRC failure — nothing slips through to the science product.
+  const auto baseline = small_baseline(48);
+  auto config = small_config();
+  config.link.faults.corrupt_prob = 0.3;
+  config.max_link_retries = 32;
+  Rng rng(49);
+  const auto result = sd::run_pipeline(baseline.readouts, config, rng);
+  EXPECT_GT(result.messages_corrupted, 0u);
+  EXPECT_EQ(result.crc_failures, result.messages_corrupted);
+  EXPECT_DOUBLE_EQ(result.coverage, 1.0);  // generous budget recovers all
+}
+
+TEST(Pipeline, ByzantineResultsAreRejected) {
+  // Tight flux bounds make legitimate tiles implausible, so the screen
+  // fires; the bounded budget then finishes the product degraded.
+  const auto baseline = small_baseline(50);
+  auto config = small_config();
+  config.result_flux_lo = -1e-3f;
+  config.result_flux_hi = 1e-3f;  // far below any real ramp slope
+  config.max_link_retries = 1;
+  Rng rng(51);
+  const auto result = sd::run_pipeline(baseline.readouts, config, rng);
+  EXPECT_GT(result.byzantine_rejected, 0u);
+  EXPECT_EQ(result.degraded_fragments, result.fragments);
+  EXPECT_DOUBLE_EQ(result.coverage, 0.0);
+}
+
+TEST(Pipeline, CrashAndLinkFaultsComposeAndTerminate) {
+  const auto baseline = small_baseline(52);
+  auto config = small_config();
+  config.worker_crash_prob = 0.4;
+  config.link.faults.drop_prob = 0.3;
+  config.link.faults.corrupt_prob = 0.3;
+  config.gamma0 = 0.01;
+  config.max_link_retries = 6;
+  Rng rng(53);
+  const auto result = sd::run_pipeline(baseline.readouts, config, rng);
+  EXPECT_GT(result.worker_crashes, 0u);
+  // Few fragments means few link draws — assert on the combined fault
+  // activity rather than any single channel.
+  EXPECT_GT(result.messages_dropped + result.messages_corrupted +
+                result.crc_failures,
+            0u);
+  EXPECT_GE(result.coverage, 0.0);
+  ASSERT_EQ(result.fragment_outcomes.size(), result.fragments);
 }

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "spacefts/common/random.hpp"
+#include "spacefts/edac/crc32.hpp"
 #include "spacefts/edac/hamming.hpp"
 #include "spacefts/edac/protected_memory.hpp"
 
@@ -136,4 +138,92 @@ TEST(ProtectedMemory, ScrubRefreshesTheStore) {
 
 TEST(ProtectedMemory, OverheadIsOneEighth) {
   EXPECT_DOUBLE_EQ(se::ProtectedMemory::overhead(), 0.125);
+}
+
+// ---------------------------------------------------------------------- crc32
+
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* text) {
+  std::vector<std::uint8_t> out;
+  for (const char* p = text; *p != '\0'; ++p) {
+    out.push_back(static_cast<std::uint8_t>(*p));
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Crc32, MatchesTheIeeeCheckValue) {
+  // The standard check vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(se::crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInputIsZero) {
+  EXPECT_EQ(se::crc32(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Crc32, IncrementalEqualsOneShot) {
+  const auto data = bytes_of("pre-processing input data");
+  const auto whole = se::crc32(data);
+  for (std::size_t cut = 0; cut <= data.size(); ++cut) {
+    const auto head = se::crc32(std::span(data).first(cut));
+    EXPECT_EQ(se::crc32(std::span(data).subspan(cut), head), whole)
+        << "cut " << cut;
+  }
+}
+
+TEST(Crc32, FrameRoundtrip) {
+  auto frame = bytes_of("tile payload");
+  const auto payload_size = frame.size();
+  se::frame_append_crc(frame);
+  EXPECT_EQ(frame.size(), payload_size + 4);
+  EXPECT_TRUE(se::frame_verify(frame));
+  const auto payload = se::frame_payload(frame);
+  EXPECT_EQ(payload.size(), payload_size);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                         bytes_of("tile payload").begin()));
+}
+
+TEST(Crc32, DetectsEverySingleBitFlipInTheFrame) {
+  auto frame = bytes_of("fragment");
+  se::frame_append_crc(frame);
+  for (std::size_t bit = 0; bit < frame.size() * 8; ++bit) {
+    auto damaged = frame;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(se::frame_verify(damaged)) << "bit " << bit;
+  }
+}
+
+TEST(Crc32, DetectsRandomMultiBitDamage) {
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<std::uint8_t> frame(32 + rng.below(96));
+    for (auto& byte : frame) byte = static_cast<std::uint8_t>(rng());
+    se::frame_append_crc(frame);
+    const auto pristine = frame;
+    const int flips = 1 + static_cast<int>(rng.below(8));
+    for (int f = 0; f < flips; ++f) {
+      const auto bit = rng.below(frame.size() * 8);
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    // Random flips can cancel pairwise; only genuine damage must be caught.
+    if (frame != pristine) {
+      EXPECT_FALSE(se::frame_verify(frame)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Crc32, RejectsTruncatedFrames) {
+  // Anything shorter than the 4-byte trailer cannot be a valid frame.
+  for (std::size_t size = 0; size < 4; ++size) {
+    const std::vector<std::uint8_t> stub(size, 0x00);
+    EXPECT_FALSE(se::frame_verify(stub));
+    EXPECT_TRUE(se::frame_payload(stub).empty());
+  }
+  // An empty payload with a correct trailer is a valid frame.
+  std::vector<std::uint8_t> empty;
+  se::frame_append_crc(empty);
+  EXPECT_EQ(empty.size(), 4u);
+  EXPECT_TRUE(se::frame_verify(empty));
 }

@@ -2,10 +2,12 @@
 // injection/permutation helpers.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "spacefts/common/random.hpp"
+#include "spacefts/fault/message_faults.hpp"
 #include "spacefts/fault/models.hpp"
 
 namespace sf = spacefts::fault;
@@ -162,6 +164,55 @@ TEST(Correlated, DensityGrowsWithGammaIni) {
             sf::count_faults<std::uint16_t>(low));
 }
 
+TEST(Correlated, BoundaryGammaIniStaysBelowOne) {
+  // Γ_ini just under the 0.5 admissibility boundary: the geometric limit
+  // Γ/(1-Γ) approaches 1 but must never reach it, and evaluating very long
+  // runs must neither overflow nor round up to a certain flip.
+  const double gamma_ini = 0.4999;
+  const sf::CorrelatedFaultModel model(gamma_ini);
+  const double limit = gamma_ini / (1.0 - gamma_ini);
+  ASSERT_LT(limit, 1.0);
+  double prev = 0.0;
+  for (const std::size_t run : {std::size_t{1}, std::size_t{10},
+                                std::size_t{100}, std::size_t{100000},
+                                std::size_t{10000000}}) {
+    const double p = model.flip_probability(run);
+    EXPECT_TRUE(std::isfinite(p)) << "run " << run;
+    EXPECT_GE(p, prev);
+    EXPECT_LT(p, 1.0) << "run " << run;
+    EXPECT_LE(p, limit + 1e-12) << "run " << run;
+    prev = p;
+  }
+  EXPECT_NEAR(model.flip_probability(10000000), limit, 1e-9);
+}
+
+TEST(Correlated, BoundaryGammaIniMaskGenerationTerminates) {
+  // Long columns at near-boundary Γ_ini: dense masks, but generation stays
+  // bounded and the empirical density stays below certainty.
+  Rng rng(13);
+  const sf::CorrelatedFaultModel model(0.4999);
+  const std::size_t words_per_row = 4, rows = 512;
+  const auto mask = model.mask16(words_per_row, rows, rng);
+  const auto flipped = sf::count_faults<std::uint16_t>(mask);
+  const std::size_t bits = words_per_row * rows * 16;
+  EXPECT_GT(flipped, 0u);
+  EXPECT_LT(flipped, bits);  // not every bit certain even at the boundary
+}
+
+TEST(Correlated, HalfGammaIniSaturatesSafely) {
+  // At exactly 0.5 the geometric limit reaches 1: long runs flip with
+  // certainty.  The model must cap the probability at 1 (a valid Bernoulli
+  // parameter) rather than overflow past it.
+  const sf::CorrelatedFaultModel model(0.5);
+  for (const std::size_t run :
+       {std::size_t{1}, std::size_t{64}, std::size_t{1000000}}) {
+    const double p = model.flip_probability(run);
+    EXPECT_TRUE(std::isfinite(p)) << "run " << run;
+    EXPECT_LE(p, 1.0) << "run " << run;
+  }
+  EXPECT_DOUBLE_EQ(model.flip_probability(1000000), 1.0);
+}
+
 // ---------------------------------------------------------- BlockFaultModel
 
 TEST(BlockFault, ValidatesArguments) {
@@ -206,6 +257,114 @@ TEST(BlockFault, GridValidation) {
   Rng rng(3);
   const sf::BlockFaultModel model(1, 4, 4);
   EXPECT_THROW((void)model.mask16(0, 4, rng), std::invalid_argument);
+}
+
+// --------------------------------------------------------- MessageFaultModel
+
+TEST(MessageFault, ValidatesConfiguration) {
+  sf::MessageFaultConfig config;
+  config.drop_prob = -0.1;
+  EXPECT_THROW((void)sf::MessageFaultModel(config), std::invalid_argument);
+  config = {};
+  config.corrupt_prob = 1.1;
+  EXPECT_THROW((void)sf::MessageFaultModel(config), std::invalid_argument);
+  config = {};
+  config.max_delay_s = -1.0;
+  EXPECT_THROW((void)sf::MessageFaultModel(config), std::invalid_argument);
+  config = {};
+  config.corrupt_gamma0 = 0.0;
+  EXPECT_THROW((void)sf::MessageFaultModel(config), std::invalid_argument);
+  EXPECT_NO_THROW((void)sf::MessageFaultModel(sf::MessageFaultConfig{}));
+}
+
+TEST(MessageFault, PerfectLinkConsumesNoRandomness) {
+  // An all-zero config must not advance the stream: pipelines with a
+  // perfect link stay bit-compatible with builds that predate the model.
+  const sf::MessageFaultModel model(sf::MessageFaultConfig{});
+  EXPECT_TRUE(sf::MessageFaultConfig{}.perfect());
+  Rng rng(21), untouched(21);
+  const auto outcome = model.sample(rng);
+  EXPECT_FALSE(outcome.dropped);
+  EXPECT_FALSE(outcome.corrupted);
+  EXPECT_EQ(outcome.duplicates, 0u);
+  EXPECT_EQ(outcome.extra_delay_s, 0.0);
+  EXPECT_EQ(rng(), untouched());  // stream position unchanged
+}
+
+TEST(MessageFault, SampleIsDeterministicPerSeed) {
+  sf::MessageFaultConfig config;
+  config.drop_prob = 0.2;
+  config.corrupt_prob = 0.3;
+  config.duplicate_prob = 0.1;
+  config.delay_prob = 0.4;
+  const sf::MessageFaultModel model(config);
+  Rng a(22), b(22);
+  for (int i = 0; i < 200; ++i) {
+    const auto oa = model.sample(a);
+    const auto ob = model.sample(b);
+    EXPECT_EQ(oa.dropped, ob.dropped);
+    EXPECT_EQ(oa.corrupted, ob.corrupted);
+    EXPECT_EQ(oa.duplicates, ob.duplicates);
+    EXPECT_EQ(oa.extra_delay_s, ob.extra_delay_s);
+  }
+}
+
+TEST(MessageFault, DropSuppressesTheOtherFates) {
+  // A dropped message never arrives, so it cannot also be corrupted,
+  // duplicated, or delayed.
+  sf::MessageFaultConfig config;
+  config.drop_prob = 1.0;
+  config.corrupt_prob = 1.0;
+  config.duplicate_prob = 1.0;
+  config.delay_prob = 1.0;
+  const sf::MessageFaultModel model(config);
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    const auto outcome = model.sample(rng);
+    EXPECT_TRUE(outcome.dropped);
+    EXPECT_FALSE(outcome.corrupted);
+    EXPECT_EQ(outcome.duplicates, 0u);
+    EXPECT_EQ(outcome.extra_delay_s, 0.0);
+  }
+}
+
+TEST(MessageFault, EmpiricalRatesMatchConfiguration) {
+  sf::MessageFaultConfig config;
+  config.drop_prob = 0.1;
+  config.delay_prob = 0.25;
+  config.max_delay_s = 5e-3;
+  const sf::MessageFaultModel model(config);
+  Rng rng(24);
+  const int trials = 20000;
+  int dropped = 0, delayed = 0;
+  for (int i = 0; i < trials; ++i) {
+    const auto outcome = model.sample(rng);
+    dropped += outcome.dropped ? 1 : 0;
+    delayed += outcome.extra_delay_s > 0.0 ? 1 : 0;
+    EXPECT_GE(outcome.extra_delay_s, 0.0);
+    EXPECT_LE(outcome.extra_delay_s, config.max_delay_s);
+  }
+  EXPECT_NEAR(dropped / static_cast<double>(trials), 0.1, 0.01);
+  // Delay survives only when the message was not dropped.
+  EXPECT_NEAR(delayed / static_cast<double>(trials), 0.25 * 0.9, 0.015);
+}
+
+TEST(MessageFault, CorruptAlwaysFlipsAtLeastOneBit) {
+  sf::MessageFaultConfig config;
+  config.corrupt_prob = 1.0;
+  config.corrupt_gamma0 = 1e-6;  // so sparse the i.i.d. pass usually misses
+  const sf::MessageFaultModel model(config);
+  Rng rng(25);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> payload(8, 0xA5);
+    const auto reference = payload;
+    const auto flipped = model.corrupt(payload, rng);
+    EXPECT_GE(flipped, 1u);
+    EXPECT_NE(payload, reference);
+  }
+  // Empty payloads are a no-op, not a crash.
+  std::vector<std::uint8_t> empty;
+  EXPECT_EQ(model.corrupt(empty, rng), 0u);
 }
 
 // ------------------------------------------------------------------ injection

@@ -127,6 +127,73 @@ TEST(IngestGuard, RejectsGarbageContainer) {
   EXPECT_FALSE(result.error.empty());
 }
 
+TEST(IngestGuard, RejectsTruncatedContainer) {
+  // A container cut mid-flight (dropped downlink frames): the guard must
+  // report the failure through the result, never throw.
+  const auto stack = small_stack(7);
+  auto bytes = si::IngestGuard::pack(stack);
+  const si::IngestGuard guard(config_for(stack));
+  // bytes.size() - 2830 cuts into the final HDU's data unit (each 8x8
+  // readout is one 2880-byte header block plus one data block); 2881 leaves
+  // a header promising data that never arrives; 17 is not even a card.
+  for (const std::size_t keep :
+       {bytes.size() - 2830, std::size_t{2881}, std::size_t{17}}) {
+    auto truncated = bytes;
+    truncated.resize(keep);
+    si::IngestResult result;
+    ASSERT_NO_THROW(result = guard.ingest(truncated)) << "keep " << keep;
+    EXPECT_FALSE(result.ok) << "keep " << keep;
+    EXPECT_FALSE(result.error.empty()) << "keep " << keep;
+    EXPECT_EQ(result.stack.cube().size(), 0u) << "keep " << keep;
+  }
+}
+
+TEST(IngestGuard, EnforcesConfiguredMinReadouts) {
+  // A parseable baseline with fewer readouts than the configured floor is
+  // refused up front: temporal voting without neighbours is meaningless.
+  const auto stack = small_stack(8);  // 16 readouts
+  auto config = config_for(stack);
+  config.min_readouts = 17;
+  const si::IngestGuard guard(config);
+  si::IngestResult result;
+  ASSERT_NO_THROW(result = guard.ingest(si::IngestGuard::pack(stack)));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("too few readouts"), std::string::npos);
+
+  // One more readout than the floor passes.
+  config.min_readouts = 16;
+  const si::IngestGuard relaxed(config);
+  EXPECT_TRUE(relaxed.ingest(si::IngestGuard::pack(stack)).ok);
+}
+
+TEST(IngestGuard, AllHdusCorruptFailsGracefully) {
+  // Every readout's width keyword zeroed and its data unit lost — the
+  // container still parses (HDU boundaries are intact) but no HDU carries
+  // usable geometry, and with no a-priori expectation nothing can repair
+  // it: ok == false with a populated error, not a throw.
+  const auto stack = small_stack(9);
+  auto bytes = si::IngestGuard::pack(stack);
+  auto file = spacefts::fits::FitsFile::parse(bytes);
+  for (auto& hdu : file.hdus()) {
+    hdu.header.set_int("NAXIS1", 0);
+    hdu.data.clear();
+  }
+  bytes = file.serialize();
+
+  const si::IngestGuard guard(si::IngestConfig{});  // everything unknown
+  si::IngestResult result;
+  ASSERT_NO_THROW(result = guard.ingest(bytes));
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  // The audit trail still covers every HDU it examined.
+  EXPECT_EQ(result.sanity.size(), stack.frames());
+  std::size_t unrepaired = 0;
+  for (const auto& report : result.sanity) {
+    unrepaired += report.fully_repaired() ? 0 : 1;
+  }
+  EXPECT_EQ(unrepaired, stack.frames());
+}
+
 TEST(IngestGuard, RejectsTooFewReadouts) {
   spacefts::datagen::NgstSimulator sim(6);
   spacefts::datagen::SceneParams params;

@@ -14,11 +14,20 @@
 ///       print HDU headers and geometry
 ///   spacefts_cli psi <a.fits> <b.fits>
 ///       the paper's average relative error between two baselines
+///   spacefts_cli campaign [--gamma0 a,b] [--crash a,b] [--link-loss a,b]
+///                         [--lambda a,b] [--trials N] [--seed S]
+///                         [--threads N] [--retries N] [--no-retries]
+///                         [--out path] [--enforce]
+///       sweep a seeded fault-injection grid over the distributed pipeline,
+///       append one JSON line per grid cell to --out (default
+///       BENCH_campaign.json), and with --enforce exit non-zero on any
+///       survival or clean-memory-coverage regression
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "spacefts/campaign/campaign.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/fault/models.hpp"
@@ -37,7 +46,12 @@ int usage() {
                "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]"
                " [--threads N]\n"
                "  spacefts_cli info <in>\n"
-               "  spacefts_cli psi <a> <b>\n");
+               "  spacefts_cli psi <a> <b>\n"
+               "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
+               " [--link-loss a,b] [--lambda a,b]\n"
+               "                [--trials N] [--seed S] [--threads N]"
+               " [--retries N] [--no-retries]\n"
+               "                [--out path] [--enforce]\n");
   return 2;
 }
 
@@ -217,6 +231,95 @@ int cmd_psi(int argc, char** argv) {
   return 0;
 }
 
+std::vector<double> parse_grid(const char* text) {
+  std::vector<double> values;
+  const std::string s = text;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string item =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    if (!item.empty()) values.push_back(std::strtod(item.c_str(), nullptr));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  spacefts::campaign::CampaignConfig config;
+  std::string out_path = "BENCH_campaign.json";
+  bool enforce = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--gamma0") {
+      const char* v = next();
+      if (!v) return usage();
+      config.gamma0_grid = parse_grid(v);
+    } else if (arg == "--crash") {
+      const char* v = next();
+      if (!v) return usage();
+      config.crash_grid = parse_grid(v);
+    } else if (arg == "--link-loss") {
+      const char* v = next();
+      if (!v) return usage();
+      config.link_loss_grid = parse_grid(v);
+    } else if (arg == "--lambda") {
+      const char* v = next();
+      if (!v) return usage();
+      config.lambda_grid = parse_grid(v);
+    } else if (arg == "--trials") {
+      const char* v = next();
+      if (!v) return usage();
+      config.trials = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return usage();
+      config.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return usage();
+      config.threads = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (!v) return usage();
+      config.max_link_retries = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--no-retries") {
+      config.max_link_retries = 0;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return usage();
+      out_path = v;
+    } else if (arg == "--enforce") {
+      enforce = true;
+    } else {
+      return usage();
+    }
+  }
+
+  const auto report = spacefts::campaign::run_campaign(config);
+  spacefts::campaign::append_jsonl(report, out_path);
+  std::printf("campaign: %zu cells, %zu/%zu trials survived; appended to %s\n",
+              report.cells.size(), report.trials_survived, report.trials_run,
+              out_path.c_str());
+  if (enforce) {
+    std::string diagnostics;
+    const std::size_t violations =
+        spacefts::campaign::enforce(report, diagnostics);
+    if (violations > 0) {
+      std::fprintf(stderr, "campaign enforce: %zu violation(s)\n%s",
+                   violations, diagnostics.c_str());
+      return 1;
+    }
+    std::printf("campaign enforce: pass\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -228,6 +331,7 @@ int main(int argc, char** argv) {
     if (command == "ingest") return cmd_ingest(argc, argv);
     if (command == "info") return cmd_info(argc, argv);
     if (command == "psi") return cmd_psi(argc, argv);
+    if (command == "campaign") return cmd_campaign(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
