@@ -19,6 +19,7 @@
 #include "spacefts/fault/models.hpp"
 #include "spacefts/metrics/error.hpp"
 #include "spacefts/smoothing/temporal.hpp"
+#include "spacefts/telemetry/jsonl.hpp"
 
 namespace bench {
 
@@ -106,30 +107,23 @@ inline std::vector<double> measure_psi(
 inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
                                      std::size_t upsilon, double lambda,
                                      const char* path = "BENCH_preprocess.json") {
-  std::FILE* f = std::fopen(path, "a");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot append to %s\n", path);
-    return;
-  }
-  std::fprintf(f,
-               "{\"bench\": \"stack_preprocess\", \"pixels_per_s\": %.6g, "
-               "\"threads\": %zu, \"upsilon\": %zu, \"lambda\": %g}\n",
-               pixels_per_s, threads, upsilon, lambda);
-  std::fclose(f);
+  namespace jsonl = spacefts::telemetry::jsonl;
+  std::string line = "{\"bench\": \"stack_preprocess\", \"pixels_per_s\": ";
+  jsonl::append_fmt(line, "%.6g", pixels_per_s);
+  line += ", \"threads\": " + std::to_string(threads);
+  line += ", \"upsilon\": " + std::to_string(upsilon);
+  line += ", \"lambda\": ";
+  jsonl::append_fmt(line, "%g", lambda);
+  line += "}\n";
+  (void)jsonl::append_file(path, line);
 }
 
 /// Appends pre-rendered JSON-lines text to \p path, the shared accumulation
 /// pattern of every BENCH_*.json artifact.  Returns false (with a message on
-/// stderr) when the file cannot be opened.
+/// stderr) when the file cannot be opened.  Thin wrapper over the shared
+/// telemetry::jsonl::append_file helper.
 inline bool append_jsonl(const std::string& text, const char* path) {
-  std::FILE* f = std::fopen(path, "a");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench: cannot append to %s\n", path);
-    return false;
-  }
-  std::fwrite(text.data(), 1, text.size(), f);
-  std::fclose(f);
-  return true;
+  return spacefts::telemetry::jsonl::append_file(path, text);
 }
 
 /// Prints a table header: the x-label followed by one column per algorithm.

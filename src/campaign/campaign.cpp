@@ -9,7 +9,10 @@
 #include "spacefts/common/parallel.hpp"
 #include "spacefts/common/random.hpp"
 #include "spacefts/datagen/ngst.hpp"
+#include "spacefts/ingest/guard.hpp"
 #include "spacefts/metrics/aggregate.hpp"
+#include "spacefts/telemetry/jsonl.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace spacefts::campaign {
 namespace {
@@ -96,13 +99,34 @@ std::uint64_t trial_seed(std::uint64_t seed, std::size_t cell,
 
 TrialRecord run_trial(const CampaignConfig& config, const Cell& cell,
                       std::uint64_t seed) {
+  SPACEFTS_TSPAN("campaign.trial", {"gamma0", cell.gamma0},
+                 {"lambda", cell.lambda});
   TrialRecord rec;
   try {
     datagen::NgstSimulator gen(seed);
     datagen::SceneParams scene;
     scene.width = config.scene_side;
     scene.height = config.scene_side;
-    const auto readouts = gen.stack(config.frames, scene);
+    auto readouts = gen.stack(config.frames, scene);
+
+    // Route the generated baseline through the ingest guard at Λ = 0, as a
+    // flight master would before scattering: the container roundtrip is
+    // lossless and sanity-only mode never touches pixels, so the pipeline
+    // input (and every campaign artifact) is bit-identical to feeding the
+    // stack directly — but the run now exercises, and traces, the real
+    // ingest path.
+    ingest::IngestConfig ic;
+    ic.expectation.bitpix = 16;
+    ic.expectation.width = static_cast<std::int64_t>(config.scene_side);
+    ic.expectation.height = static_cast<std::int64_t>(config.scene_side);
+    ic.algo.lambda = 0.0;
+    const ingest::IngestGuard guard(ic);
+    ingest::IngestResult ingested = guard.ingest(ingest::IngestGuard::pack(readouts));
+    if (!ingested.ok) {
+      throw std::runtime_error("campaign: ingest rejected a clean baseline: " +
+                               ingested.error);
+    }
+    readouts = std::move(ingested.stack);
 
     dist::PipelineConfig pc;
     pc.workers = config.workers;
@@ -141,11 +165,8 @@ TrialRecord run_trial(const CampaignConfig& config, const Cell& cell,
   return rec;
 }
 
-void fmt(std::string& out, const char* format, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), format, value);
-  out += buf;
-}
+// The JSONL double formatting shared by every exporter in the tree.
+using telemetry::jsonl::append_fmt;
 
 }  // namespace
 
@@ -153,6 +174,8 @@ CampaignReport run_campaign(const CampaignConfig& config) {
   validate(config);
   const std::vector<Cell> cells = enumerate_cells(config);
   const std::size_t total = cells.size() * config.trials;
+  SPACEFTS_TSPAN("campaign.run", {"cells", static_cast<double>(cells.size())},
+                 {"trials", static_cast<double>(config.trials)});
   std::vector<TrialRecord> records(total);
 
   const std::size_t lanes = common::parallel::resolve_threads(config.threads);
@@ -208,11 +231,16 @@ CampaignReport run_campaign(const CampaignConfig& config) {
       cr.false_alarm_per_mpixel =
           static_cast<double>(corrected) /
           (static_cast<double>(pixel_frames) / 1.0e6);
+      // On clean memory every "correction" is by definition a false alarm.
+      telemetry::counter("campaign.false_alarms").add(corrected);
     }
     cr.mean_makespan_s = makespan.mean();
     cr.max_makespan_s = makespan.max();
     report.cells.push_back(cr);
   }
+  telemetry::counter("campaign.trials_run").add(report.trials_run);
+  telemetry::counter("campaign.trials_failed")
+      .add(report.trials_run - report.trials_survived);
   return report;
 }
 
@@ -221,18 +249,18 @@ std::string to_jsonl(const CampaignReport& report) {
   out.reserve(report.cells.size() * 512);
   for (const CellResult& c : report.cells) {
     out += "{\"bench\":\"fault_campaign\"";
-    fmt(out, ",\"gamma0\":%.10g", c.gamma0);
-    fmt(out, ",\"crash_prob\":%.10g", c.crash_prob);
-    fmt(out, ",\"link_loss\":%.10g", c.link_loss);
-    fmt(out, ",\"lambda\":%.10g", c.lambda);
+    append_fmt(out, ",\"gamma0\":%.10g", c.gamma0);
+    append_fmt(out, ",\"crash_prob\":%.10g", c.crash_prob);
+    append_fmt(out, ",\"link_loss\":%.10g", c.link_loss);
+    append_fmt(out, ",\"lambda\":%.10g", c.lambda);
     out += ",\"trials\":" + std::to_string(c.trials);
     out += ",\"survived\":" + std::to_string(c.survived);
-    fmt(out, ",\"mean_coverage\":%.10g", c.mean_coverage);
-    fmt(out, ",\"min_coverage\":%.10g", c.min_coverage);
-    fmt(out, ",\"correction_rate\":%.10g", c.correction_rate);
-    fmt(out, ",\"false_alarm_per_mpixel\":%.10g", c.false_alarm_per_mpixel);
-    fmt(out, ",\"mean_makespan_s\":%.10g", c.mean_makespan_s);
-    fmt(out, ",\"max_makespan_s\":%.10g", c.max_makespan_s);
+    append_fmt(out, ",\"mean_coverage\":%.10g", c.mean_coverage);
+    append_fmt(out, ",\"min_coverage\":%.10g", c.min_coverage);
+    append_fmt(out, ",\"correction_rate\":%.10g", c.correction_rate);
+    append_fmt(out, ",\"false_alarm_per_mpixel\":%.10g", c.false_alarm_per_mpixel);
+    append_fmt(out, ",\"mean_makespan_s\":%.10g", c.mean_makespan_s);
+    append_fmt(out, ",\"max_makespan_s\":%.10g", c.max_makespan_s);
     out += ",\"faults_injected\":" + std::to_string(c.faults_injected);
     out += ",\"worker_crashes\":" + std::to_string(c.worker_crashes);
     out += ",\"messages_dropped\":" + std::to_string(c.messages_dropped);
@@ -270,7 +298,7 @@ std::size_t enforce(const CampaignReport& report, std::string& diagnostics) {
     if (c.gamma0 == 0.0 && c.min_coverage < 1.0) {
       ++violations;
       diagnostics += head;
-      fmt(diagnostics, "coverage %.10g < 1 on a clean-memory cell\n",
+      append_fmt(diagnostics, "coverage %.10g < 1 on a clean-memory cell\n",
           c.min_coverage);
     }
   }

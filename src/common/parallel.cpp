@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "spacefts/telemetry/telemetry.hpp"
+
 namespace spacefts::common::parallel {
 
 namespace {
@@ -38,11 +40,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(std::size_t lane) {
+  // One span per lane per dispatch: the gap between a lane's span and the
+  // enclosing run() span is exactly that lane's idle/wake latency, which
+  // makes utilization visible in a trace without per-chunk overhead.
+  SPACEFTS_TSPAN("parallel.lane", {"lane", static_cast<double>(lane)});
+  std::size_t executed = 0;
   t_inside_pool_job = true;
   for (;;) {
     const std::size_t chunk =
         next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= job_chunks_) break;
+    ++executed;
     try {
       (*job_)(chunk, lane);
     } catch (...) {
@@ -51,6 +59,7 @@ void ThreadPool::drain(std::size_t lane) {
     }
   }
   t_inside_pool_job = false;
+  telemetry::counter("parallel.chunks_executed").add(executed);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -78,6 +87,8 @@ void ThreadPool::run(std::size_t chunks, std::size_t lanes,
     for (std::size_t c = 0; c < chunks; ++c) job(c, 0);
   };
   if (lanes == 1 || chunks == 1 || t_inside_pool_job) {
+    SPACEFTS_TSPAN("parallel.run_inline",
+                   {"chunks", static_cast<double>(chunks)});
     run_inline();
     return;
   }
@@ -88,6 +99,9 @@ void ThreadPool::run(std::size_t chunks, std::size_t lanes,
     run_inline();
     return;
   }
+  SPACEFTS_TSPAN("parallel.run", {"chunks", static_cast<double>(chunks)},
+                 {"lanes", static_cast<double>(lanes)});
+  telemetry::gauge("parallel.lanes").set(static_cast<double>(lanes));
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &job;

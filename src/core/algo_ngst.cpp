@@ -10,6 +10,7 @@
 #include "spacefts/common/parallel.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace spacefts::core {
 
@@ -104,6 +105,7 @@ void accumulate(AlgoNgstReport& total, const AlgoNgstReport& r) {
   total.pixels_examined += r.pixels_examined;
   total.pixels_corrected += r.pixels_corrected;
   total.bits_corrected += r.bits_corrected;
+  total.pixels_vetoed += r.pixels_vetoed;
   total.lsb_mask = r.lsb_mask;
   total.msb_mask = r.msb_mask;
 }
@@ -144,12 +146,16 @@ AlgoNgstReport AlgoNgst::run(std::span<std::uint16_t> series,
     } else {
       corr = correction_vector<std::uint16_t>(voters, lsb_mask, msb_mask);
     }
-    if (corr != 0 &&
-        (!config_.enable_plausibility_gate ||
-         correction_is_plausible(series, i, matrix, corr, scratch.partners))) {
-      series[i] = static_cast<std::uint16_t>(series[i] ^ corr);
-      ++report.pixels_corrected;
-      report.bits_corrected += static_cast<std::size_t>(std::popcount(corr));
+    if (corr != 0) {
+      if (config_.enable_plausibility_gate &&
+          !correction_is_plausible(series, i, matrix, corr,
+                                   scratch.partners)) {
+        ++report.pixels_vetoed;
+      } else {
+        series[i] = static_cast<std::uint16_t>(series[i] ^ corr);
+        ++report.pixels_corrected;
+        report.bits_corrected += static_cast<std::size_t>(std::popcount(corr));
+      }
     }
   }
   return report;
@@ -179,6 +185,8 @@ AlgoNgstReport AlgoNgst::preprocess(
   AlgoNgstReport total;
   if (width == 0 || height == 0 || frames == 0) return total;
 
+  SPACEFTS_TSPAN("ngst.preprocess_stack", {"lambda", config_.lambda},
+                 {"frames", static_cast<double>(frames)});
   const std::size_t lanes = common::parallel::resolve_threads(config_.threads);
   std::vector<NgstScratch> scratch(std::max<std::size_t>(lanes, 1));
   // One report per row, reduced in row order below: the partition, the
@@ -196,6 +204,8 @@ AlgoNgstReport AlgoNgst::preprocess(
           AlgoNgstReport& row = row_reports[y];
           for (std::size_t x0 = 0; x0 < width; x0 += kTileWidth) {
             const std::size_t tw = std::min(kTileWidth, width - x0);
+            SPACEFTS_TSPAN("ngst.tile", {"lambda", config_.lambda},
+                           {"width", static_cast<double>(tw)});
             s.tile.resize(tw * frames);
             // Gather: transpose the tile into coordinate-major scratch.
             // Each frame contributes one contiguous row segment, so the
@@ -207,10 +217,16 @@ AlgoNgstReport AlgoNgst::preprocess(
                 s.tile[k * frames + t] = src[k];
               }
             }
-            for (std::size_t k = 0; k < tw; ++k) {
-              const std::span<std::uint16_t> series(s.tile.data() + k * frames,
-                                                    frames);
-              accumulate(row, run<false>(series, s));
+            {
+              // One span per tile for the voting itself (per-series spans
+              // would swamp the ring: a 128x128x64 stack has 16k series).
+              SPACEFTS_TSPAN("voter.vote",
+                             {"series", static_cast<double>(tw)});
+              for (std::size_t k = 0; k < tw; ++k) {
+                const std::span<std::uint16_t> series(
+                    s.tile.data() + k * frames, frames);
+                accumulate(row, run<false>(series, s));
+              }
             }
             // Scatter the corrected series back.
             for (std::size_t t = 0; t < frames; ++t) {
@@ -223,6 +239,9 @@ AlgoNgstReport AlgoNgst::preprocess(
         }
       });
   for (const AlgoNgstReport& row : row_reports) accumulate(total, row);
+  telemetry::counter("ngst.pixels_corrected").add(total.pixels_corrected);
+  telemetry::counter("ngst.bits_corrected").add(total.bits_corrected);
+  telemetry::counter("voter.gate_vetoed").add(total.pixels_vetoed);
   return total;
 }
 

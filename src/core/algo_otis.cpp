@@ -12,6 +12,7 @@
 #include "spacefts/common/stats.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace spacefts::core {
 
@@ -85,6 +86,8 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   if (config_.lambda <= 0.0 || plane.width() < 3 || plane.height() < 3) {
     return report;
   }
+  SPACEFTS_TSPAN("otis.plane", {"lambda", config_.lambda},
+                 {"wavelength_um", wavelength_um});
   const std::size_t w = plane.width();
   const std::size_t h = plane.height();
   const otis::RadianceInterval interval =
@@ -103,6 +106,8 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   std::vector<std::vector<double>> lane_residuals(lanes);
   std::vector<std::size_t> lane_oob(lanes, 0);
 
+  {
+  SPACEFTS_TSPAN("otis.classify");
   par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
                                                std::size_t lane) {
     std::vector<double>& pool = lane_residuals[lane];
@@ -127,6 +132,7 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
       }
     }
   });
+  }
   std::vector<double> abs_residuals;
   {
     std::size_t n = 0;
@@ -158,6 +164,8 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
 
   std::vector<std::size_t> lane_outliers(lanes, 0);
   std::vector<std::size_t> lane_protected(lanes, 0);
+  {
+  SPACEFTS_TSPAN("otis.classify", {"tau", tau});
   par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
                                                std::size_t lane) {
     for (std::size_t y = y0; y < y1; ++y) {
@@ -214,6 +222,7 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
       }
     }
   });
+  }
   for (std::size_t l = 0; l < lanes; ++l) {
     report.outliers += lane_outliers[l];
     report.trend_protected += lane_protected[l];
@@ -241,6 +250,7 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   std::uint32_t max_vval = 0;
   bool have_thresholds = true;
   {
+    SPACEFTS_TSPAN("otis.thresholds", {"lambda", config_.lambda});
     std::vector<std::uint32_t> xors;
     for (auto& way : ways) {
       xors.clear();
@@ -292,6 +302,8 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   const common::Image<float> source = plane;
   std::vector<std::size_t> lane_bit(lanes, 0);
   std::vector<std::size_t> lane_median(lanes, 0);
+  {
+  SPACEFTS_TSPAN("otis.vote");
   par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
                                                std::size_t lane) {
     std::vector<std::uint32_t> voters;
@@ -365,10 +377,15 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
       }
     }
   });
+  }
   for (std::size_t l = 0; l < lanes; ++l) {
     report.bit_corrected += lane_bit[l];
     report.median_replaced += lane_median[l];
   }
+  telemetry::counter("otis.bit_corrected").add(report.bit_corrected);
+  telemetry::counter("otis.median_replaced").add(report.median_replaced);
+  telemetry::counter("otis.trend_protected").add(report.trend_protected);
+  telemetry::counter("otis.out_of_bounds").add(report.out_of_bounds);
   return report;
 }
 
@@ -381,6 +398,8 @@ AlgoOtisReport AlgoOtis::preprocess_spectral(
   report.pixels_examined = cube.size();
   const std::size_t bands = cube.depth();
   if (config_.lambda <= 0.0 || bands < 3) return report;
+  SPACEFTS_TSPAN("otis.spectral", {"lambda", config_.lambda},
+                 {"bands", static_cast<double>(bands)});
 
   // Per-band physical envelopes for hypothesis (2).
   std::vector<otis::RadianceInterval> intervals;

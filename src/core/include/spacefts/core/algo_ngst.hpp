@@ -71,6 +71,9 @@ struct AlgoNgstReport {
   std::size_t pixels_examined = 0;
   std::size_t pixels_corrected = 0;    ///< pixels with a non-zero correction
   std::size_t bits_corrected = 0;      ///< total bits flipped back
+  /// Corrections the plausibility gate rejected: the voter said "flip" but
+  /// the arithmetic deviation disagreed.  A proxy for averted false alarms.
+  std::size_t pixels_vetoed = 0;
 };
 
 /// The preprocessing algorithm.  Stateless and const; one instance can be

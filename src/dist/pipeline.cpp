@@ -10,6 +10,7 @@
 #include "spacefts/fault/models.hpp"
 #include "spacefts/rice/rice.hpp"
 #include "spacefts/smoothing/temporal.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace spacefts::dist {
 
@@ -241,6 +242,9 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
   const std::size_t gather_bytes = side * side * 4 + 4;
   const std::size_t tile_pixel_frames = side * side * readouts.frames();
 
+  SPACEFTS_TSPAN("pipeline.run",
+                 {"fragments", static_cast<double>(tile_count)},
+                 {"workers", static_cast<double>(config.workers)});
   PipelineResult result;
   result.fragments = tile_count;
   result.flux = common::Image<float>(readouts.width(), readouts.height(), 0.0f);
@@ -292,7 +296,11 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
   auto finish_fragment = [&](std::size_t i, FragmentOutcome outcome) {
     frags[i].done = true;
     result.fragment_outcomes[i] = outcome;
-    if (outcome != FragmentOutcome::kHealthy) ++result.degraded_fragments;
+    if (outcome != FragmentOutcome::kHealthy) {
+      ++result.degraded_fragments;
+      telemetry::instant("pipeline.degraded",
+                         {"fragment", static_cast<double>(i)});
+    }
     ++tiles_done;
     if (tiles_done == tile_count) gather_done_at = sim.now();
   };
@@ -317,6 +325,10 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
           config.retry_jitter > 0.0
               ? 1.0 + config.retry_jitter * (2.0 * link_rngs[i].uniform() - 1.0)
               : 1.0;
+      telemetry::instant("pipeline.retry",
+                         {"fragment", static_cast<double>(i)},
+                         {"attempt", static_cast<double>(f.link_attempts)});
+      telemetry::histogram("pipeline.backoff_s").record(base * factor);
       sim.schedule_after(base * factor, [&, i] { start_attempt(i); });
     } else {
       finish_fragment(i, f.has_corrupt_flux ? FragmentOutcome::kDegradedCorrupt
@@ -347,10 +359,14 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
     sim.schedule(arrive_at, [&, i, ep, frame = std::move(frame)] {
       Fragment& frag = frags[i];
       if (frag.done || frag.epoch != ep) return;  // late or superseded
+      SPACEFTS_TSPAN("pipeline.gather",
+                     {"fragment", static_cast<double>(i)});
       if (!edac::frame_verify(frame)) {
         // Framing caught transit corruption: keep the raw payload as the
         // degraded-completion candidate, NACK-retry the fragment.
         ++result.crc_failures;
+        telemetry::instant("pipeline.crc_reject",
+                           {"fragment", static_cast<double>(i)});
         frag.corrupt_flux =
             deserialize_flux(edac::frame_payload(frame), side);
         frag.has_corrupt_flux = true;
@@ -404,6 +420,9 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
       worker_free_at[worker] = crash_at;  // reboot completes instantly
       result.worker_busy_s[worker] += 0.5 * compute;
       ++result.worker_crashes;
+      telemetry::instant("pipeline.crash",
+                         {"fragment", static_cast<double>(i)},
+                         {"worker", static_cast<double>(worker)});
       const double detect_at =
           std::max(ready_at + config.crash_timeout_s, crash_at);
       sim.schedule(detect_at, [&, i, ep] {
@@ -420,9 +439,12 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
     worker_free_at[worker] = done;
     result.worker_busy_s[worker] += compute;
 
-    sim.schedule(done, [&, i, ep, frame = std::move(frame)] {
+    sim.schedule(done, [&, i, ep, worker, frame = std::move(frame)] {
       Fragment& frag = frags[i];
       if (frag.done || frag.epoch != ep) return;
+      SPACEFTS_TSPAN("pipeline.worker_compute",
+                     {"fragment", static_cast<double>(i)},
+                     {"worker", static_cast<double>(worker)});
       auto tile = deserialize_tile(edac::frame_payload(frame), side,
                                    readouts.frames());
       WorkerOutput out =
@@ -458,6 +480,8 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
     sim.schedule(send_start, [&, i, ep, corrupted = fate.corrupted, arrive_at] {
       Fragment& frag = frags[i];
       if (frag.done || frag.epoch != ep) return;
+      SPACEFTS_TSPAN("pipeline.scatter",
+                     {"fragment", static_cast<double>(i)});
       auto frame = serialize_tile(
           cut_tile(readouts, frag.tx * side, frag.ty * side, side));
       edac::frame_append_crc(frame);
@@ -545,6 +569,28 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
   const double compress_time =
       config.compress_cost_s * static_cast<double>(quantised.size());
   result.makespan_s = gather_done_at + compress_time;
+
+  // Mirror the result accounting into the metrics registry once, from the
+  // final struct, so the exported counters reconcile with PipelineResult
+  // exactly instead of racing the per-event increments.
+  telemetry::counter("pipeline.link_retries").add(result.link_retries);
+  telemetry::counter("pipeline.crc_failures").add(result.crc_failures);
+  telemetry::counter("pipeline.byzantine_rejected")
+      .add(result.byzantine_rejected);
+  telemetry::counter("pipeline.worker_crashes").add(result.worker_crashes);
+  telemetry::counter("pipeline.reassignments").add(result.reassignments);
+  telemetry::counter("pipeline.messages_sent").add(result.messages_sent);
+  telemetry::counter("pipeline.messages_dropped").add(result.messages_dropped);
+  telemetry::counter("pipeline.messages_corrupted")
+      .add(result.messages_corrupted);
+  telemetry::counter("pipeline.degraded_fragments")
+      .add(result.degraded_fragments);
+  telemetry::counter("pipeline.pixels_corrected").add(result.pixels_corrected);
+  telemetry::counter("pipeline.faults_injected").add(result.faults_injected);
+  telemetry::gauge("pipeline.coverage").set(result.coverage);
+  for (const double busy : result.worker_busy_s) {
+    telemetry::histogram("pipeline.worker_busy_s").record(busy);
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "spacefts/fits/fits.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace spacefts::ingest {
 
@@ -22,48 +23,73 @@ std::vector<std::uint8_t> IngestGuard::pack(
 }
 
 IngestResult IngestGuard::ingest(std::span<const std::uint8_t> bytes) const {
+  SPACEFTS_TSPAN("ingest.guard",
+                 {"bytes", static_cast<double>(bytes.size())});
   IngestResult result;
 
   // 1. Container parse.  A destroyed container is beyond repair here —
   //    sanity checking needs HDU boundaries, which need sized headers.
   fits::FitsFile file;
-  try {
-    file = fits::FitsFile::parse(bytes);
-  } catch (const fits::FitsError& e) {
-    result.error = std::string("container parse failed: ") + e.what();
-    return result;
+  {
+    SPACEFTS_TSPAN("ingest.parse");
+    try {
+      file = fits::FitsFile::parse(bytes);
+    } catch (const fits::FitsError& e) {
+      result.error = std::string("container parse failed: ") + e.what();
+      telemetry::counter("ingest.rejected").add();
+      return result;
+    }
   }
   if (file.hdus().size() < config_.min_readouts) {
     result.error = "too few readouts for temporal preprocessing";
+    telemetry::counter("ingest.rejected").add();
     return result;
   }
 
   // 2. The Λ=0 sanity layer over every HDU.
   bool geometry_ok = true;
-  for (auto& hdu : file.hdus()) {
-    result.sanity.push_back(fits::check_and_repair(hdu, config_.expectation));
-    if (!result.sanity.back().fully_repaired()) geometry_ok = false;
+  {
+    SPACEFTS_TSPAN("ingest.sanity",
+                   {"hdus", static_cast<double>(file.hdus().size())});
+    for (auto& hdu : file.hdus()) {
+      result.sanity.push_back(fits::check_and_repair(hdu, config_.expectation));
+      if (!result.sanity.back().fully_repaired()) geometry_ok = false;
+    }
   }
+  std::size_t sanity_issues = 0;
+  std::size_t sanity_repaired = 0;
+  for (const auto& s : result.sanity) {
+    sanity_issues += s.issues.size();
+    for (const auto& issue : s.issues) sanity_repaired += issue.repaired;
+  }
+  telemetry::counter("ingest.sanity_issues").add(sanity_issues);
+  telemetry::counter("ingest.sanity_repaired").add(sanity_repaired);
   if (!geometry_ok) {
     result.error = "unrepairable header damage";
+    telemetry::counter("ingest.rejected").add();
     return result;
   }
 
   // 3. Decode into a stack, insisting on uniform geometry.
   std::vector<common::Image<std::uint16_t>> frames;
   frames.reserve(file.hdus().size());
-  for (const auto& hdu : file.hdus()) {
-    try {
-      frames.push_back(fits::read_image_u16(hdu));
-    } catch (const fits::FitsError& e) {
-      result.error = std::string("readout decode failed: ") + e.what();
-      return result;
-    }
-    if (frames.size() > 1 &&
-        (frames.back().width() != frames.front().width() ||
-         frames.back().height() != frames.front().height())) {
-      result.error = "readout geometry differs across the baseline";
-      return result;
+  {
+    SPACEFTS_TSPAN("ingest.decode");
+    for (const auto& hdu : file.hdus()) {
+      try {
+        frames.push_back(fits::read_image_u16(hdu));
+      } catch (const fits::FitsError& e) {
+        result.error = std::string("readout decode failed: ") + e.what();
+        telemetry::counter("ingest.rejected").add();
+        return result;
+      }
+      if (frames.size() > 1 &&
+          (frames.back().width() != frames.front().width() ||
+           frames.back().height() != frames.front().height())) {
+        result.error = "readout geometry differs across the baseline";
+        telemetry::counter("ingest.rejected").add();
+        return result;
+      }
     }
   }
   common::TemporalStack<std::uint16_t> stack(
@@ -73,11 +99,19 @@ IngestResult IngestGuard::ingest(std::span<const std::uint8_t> bytes) const {
   }
 
   // 4. Preprocess (a no-op at Λ = 0 by construction).
-  const core::AlgoNgst algo(config_.algo);
-  result.preprocess = algo.preprocess(stack);
+  {
+    SPACEFTS_TSPAN("ingest.preprocess", {"lambda", config_.algo.lambda});
+    const core::AlgoNgst algo(config_.algo);
+    result.preprocess = algo.preprocess(stack);
+  }
+  telemetry::counter("ingest.pixels_corrected")
+      .add(result.preprocess.pixels_corrected);
+  telemetry::counter("ingest.bits_corrected")
+      .add(result.preprocess.bits_corrected);
 
   result.stack = std::move(stack);
   result.ok = true;
+  telemetry::counter("ingest.accepted").add();
   return result;
 }
 

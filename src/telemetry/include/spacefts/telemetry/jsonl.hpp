@@ -1,0 +1,83 @@
+/// \file jsonl.hpp
+/// Shared JSON / JSON-lines building blocks for every exporter in the tree.
+///
+/// Three places grew the same three helpers independently — the bench
+/// harnesses (`bench_util.hpp`), the campaign runner, and now the telemetry
+/// exporters: escape a string for a JSON literal, format a double the same
+/// way everywhere (`%.10g`, so artifacts stay byte-identical across
+/// writers), and append a rendered line to a `BENCH_*.json`-style file.
+/// They live here, at the bottom of the dependency stack and header-only,
+/// so every layer can use them without a link edge.
+///
+/// These helpers are always available regardless of `SPACEFTS_TELEMETRY`.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace spacefts::telemetry::jsonl {
+
+/// Escapes \p text for embedding inside a double-quoted JSON string:
+/// quotes, backslashes, and control characters (\n, \r, \t named; the rest
+/// as \u00XX).  The surrounding quotes are the caller's job.
+[[nodiscard]] inline std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Appends `printf(format, value)` to \p out.  The canonical numeric format
+/// for JSONL artifacts is "%.10g": enough digits that accumulated files
+/// compare byte-identical across thread counts, short enough to stay
+/// readable.
+inline void append_fmt(std::string& out, const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, value);
+  out += buf;
+}
+
+/// Appends \p text verbatim to the JSON-lines file at \p path, the shared
+/// accumulation pattern of every BENCH_*.json artifact.  Returns false
+/// (with a message on stderr) when the file cannot be opened.
+[[nodiscard]] inline bool append_file(const std::string& path,
+                                      std::string_view text) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    std::fprintf(stderr, "jsonl: cannot append to %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace spacefts::telemetry::jsonl

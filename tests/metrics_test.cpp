@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "spacefts/metrics/aggregate.hpp"
 #include "spacefts/metrics/error.hpp"
 #include "spacefts/metrics/timer.hpp"
 
@@ -201,4 +202,84 @@ TEST(Timer, RestartResets) {
   const double before = timer.elapsed_seconds();
   timer.restart();
   EXPECT_LE(timer.elapsed_seconds(), before);
+}
+
+TEST(Timer, MicrosTracksSeconds) {
+  sm::Timer timer;
+  const double micros = timer.elapsed_micros();
+  const double seconds = timer.elapsed_seconds();
+  // micros was read first, so seconds * 1e6 must be at least as large.
+  EXPECT_LE(micros, seconds * 1e6);
+}
+
+// ---------------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptySeriesIsAllZero) {
+  const sm::RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSampleIsItsOwnSummary) {
+  sm::RunningStats stats;
+  stats.add(-2.5);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), -2.5);
+  EXPECT_DOUBLE_EQ(stats.min(), -2.5);
+  EXPECT_DOUBLE_EQ(stats.max(), -2.5);
+}
+
+TEST(RunningStats, NegativeOnlyStreamKeepsSigns) {
+  // min_ starts at +inf and max_ at -inf, so an all-negative stream must
+  // not report a spurious zero bound.
+  sm::RunningStats stats;
+  stats.add(-3.0);
+  stats.add(-1.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), -2.0);
+}
+
+// ------------------------------------------------------------------ percentile
+
+TEST(Percentile, EmptySeriesIsZero) {
+  EXPECT_DOUBLE_EQ(sm::percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(sm::percentile(one, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(one, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(one, 100.0), 7.0);
+}
+
+TEST(Percentile, BoundariesClampToEnds) {
+  const std::vector<double> sorted{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 250.0), 3.0);
+}
+
+TEST(Percentile, ExactRankNeedsNoInterpolation) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  // p = 25 lands exactly on index 1 with n = 5.
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 50.0), 30.0);
+}
+
+TEST(Percentile, InterpolatesBetweenBrackets) {
+  const std::vector<double> sorted{10.0, 20.0};
+  // R-7: rank 0.5 -> halfway between the two samples.
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 50.0), 15.0);
+  // rank 0.95 -> 10 + 0.95 * 10
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 95.0), 19.5);
+}
+
+TEST(Percentile, MatchesMedianOfOddSeries) {
+  const std::vector<double> sorted{1.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(sm::percentile(sorted, 50.0), 5.0);
 }

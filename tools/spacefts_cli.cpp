@@ -14,6 +14,14 @@
 ///       print HDU headers and geometry
 ///   spacefts_cli psi <a.fits> <b.fits>
 ///       the paper's average relative error between two baselines
+///   spacefts_cli pipeline [--side N] [--frames N] [--workers N]
+///                         [--fragment-side N] [--gamma0 X] [--crash X]
+///                         [--link-loss X] [--lambda X] [--retries N]
+///                         [--seed S] [--threads N]
+///       generate one baseline, ingest it, and run the distributed
+///       scatter/compute/gather pipeline once under the configured fault
+///       model — the single-run counterpart of `campaign`, and the
+///       simplest way to produce a full execution trace
 ///   spacefts_cli campaign [--gamma0 a,b] [--crash a,b] [--link-loss a,b]
 ///                         [--lambda a,b] [--trials N] [--seed S]
 ///                         [--threads N] [--retries N] [--no-retries]
@@ -22,6 +30,15 @@
 ///       append one JSON line per grid cell to --out (default
 ///       BENCH_campaign.json), and with --enforce exit non-zero on any
 ///       survival or clean-memory-coverage regression
+///
+/// `ingest`, `pipeline`, and `campaign` additionally accept
+///   --trace-out <file>    write a Chrome trace_event JSON of the run
+///                         (open in chrome://tracing or Perfetto)
+///   --metrics-out <file>  write the telemetry counters/histograms as JSONL
+///
+/// Exit codes: 0 success, 1 operation failed, 2 usage error (unknown verb,
+/// missing positionals), 3 bad flag (unknown flag or malformed value).
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -30,13 +47,19 @@
 #include "spacefts/campaign/campaign.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/datagen/ngst.hpp"
+#include "spacefts/dist/pipeline.hpp"
 #include "spacefts/fault/models.hpp"
 #include "spacefts/fits/io.hpp"
 #include "spacefts/fits/sanity.hpp"
 #include "spacefts/ingest/guard.hpp"
 #include "spacefts/metrics/error.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
 
 namespace {
+
+constexpr int kExitFailure = 1;  ///< the operation itself failed
+constexpr int kExitUsage = 2;    ///< unknown verb / missing positionals
+constexpr int kExitBadFlag = 3;  ///< unknown flag or malformed flag value
 
 int usage() {
   std::fprintf(stderr,
@@ -47,13 +70,95 @@ int usage() {
                " [--threads N]\n"
                "  spacefts_cli info <in>\n"
                "  spacefts_cli psi <a> <b>\n"
+               "  spacefts_cli pipeline [--side N] [--frames N] [--workers N]"
+               " [--fragment-side N]\n"
+               "                [--gamma0 X] [--crash X] [--link-loss X]"
+               " [--lambda X]\n"
+               "                [--retries N] [--seed S] [--threads N]\n"
                "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
                " [--link-loss a,b] [--lambda a,b]\n"
                "                [--trials N] [--seed S] [--threads N]"
                " [--retries N] [--no-retries]\n"
-               "                [--out path] [--enforce]\n");
-  return 2;
+               "                [--out path] [--enforce]\n"
+               "  ingest/pipeline/campaign also accept --trace-out <file>"
+               " and --metrics-out <file>\n");
+  return kExitUsage;
 }
+
+int bad_flag(const std::string& flag, const char* detail) {
+  std::fprintf(stderr, "spacefts_cli: %s: %s\n", flag.c_str(), detail);
+  return kExitBadFlag;
+}
+
+/// Strict numeric parsers: the whole token must be consumed, so "8x" or ""
+/// is a reportable mistake instead of a silent 8 (or 0).
+
+[[nodiscard]] bool parse_double(const char* text, double& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(text, &end);
+  return errno == 0 && *end == '\0';
+}
+
+[[nodiscard]] bool parse_size(const char* text, std::size_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = static_cast<std::size_t>(std::strtoull(text, &end, 10));
+  return errno == 0 && *end == '\0';
+}
+
+[[nodiscard]] bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0' || *text == '-') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && *end == '\0';
+}
+
+/// Shared handling of --trace-out/--metrics-out across verbs.
+struct TelemetryOptions {
+  std::string trace_out;
+  std::string metrics_out;
+
+  [[nodiscard]] bool requested() const {
+    return !trace_out.empty() || !metrics_out.empty();
+  }
+
+  /// Turns recording on before the instrumented run starts.
+  void arm() const {
+    if (!requested()) return;
+    if (!spacefts::telemetry::kCompiledIn) {
+      std::fprintf(stderr,
+                   "spacefts_cli: built with SPACEFTS_TELEMETRY=OFF; "
+                   "--trace-out/--metrics-out produce no output\n");
+      return;
+    }
+    spacefts::telemetry::set_enabled(true);
+  }
+
+  /// Writes the requested artifacts after the run; 0 on success.
+  [[nodiscard]] int finish() const {
+    if (!requested() || !spacefts::telemetry::kCompiledIn) return 0;
+    int rc = 0;
+    if (!trace_out.empty()) {
+      if (spacefts::telemetry::write_trace(trace_out)) {
+        std::printf("wrote trace %s\n", trace_out.c_str());
+      } else {
+        rc = kExitFailure;
+      }
+    }
+    if (!metrics_out.empty()) {
+      if (spacefts::telemetry::write_metrics(metrics_out)) {
+        std::printf("wrote metrics %s\n", metrics_out.c_str());
+      } else {
+        rc = kExitFailure;
+      }
+    }
+    return rc;
+  }
+};
 
 /// Learns the baseline geometry from the first HDU whose header and
 /// payload agree (a real deployment knows it a priori).
@@ -95,11 +200,25 @@ spacefts::common::TemporalStack<std::uint16_t> load_stack(
 }
 
 int cmd_gen(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string out = argv[2];
-  const std::size_t frames = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 64;
-  const std::size_t side = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 32;
-  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) return bad_flag(arg, "unknown flag");
+    positional.push_back(argv[i]);
+  }
+  if (positional.empty() || positional.size() > 4) return usage();
+  const std::string out = positional[0];
+  std::size_t frames = 64, side = 32;
+  std::uint64_t seed = 1;
+  if (positional.size() > 1 && !parse_size(positional[1], frames)) {
+    return bad_flag(positional[1], "bad frames value");
+  }
+  if (positional.size() > 2 && !parse_size(positional[2], side)) {
+    return bad_flag(positional[2], "bad side value");
+  }
+  if (positional.size() > 3 && !parse_u64(positional[3], seed)) {
+    return bad_flag(positional[3], "bad seed value");
+  }
 
   spacefts::datagen::NgstSimulator sim(seed);
   spacefts::datagen::SceneParams scene;
@@ -113,14 +232,29 @@ int cmd_gen(int argc, char** argv) {
 }
 
 int cmd_corrupt(int argc, char** argv) {
-  if (argc < 5) return usage();
-  const std::string in = argv[2];
-  const std::string out = argv[3];
-  const double gamma0 = std::strtod(argv[4], nullptr);
-  const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 2;
-  const bool hit_header =
-      (argc > 5 && std::string(argv[5]) == "--header") ||
-      (argc > 6 && std::string(argv[6]) == "--header");
+  std::vector<const char*> positional;
+  bool hit_header = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--header") {
+      hit_header = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 3 || positional.size() > 4) return usage();
+  const std::string in = positional[0];
+  const std::string out = positional[1];
+  double gamma0 = 0.0;
+  std::uint64_t seed = 2;
+  if (!parse_double(positional[2], gamma0)) {
+    return bad_flag(positional[2], "bad gamma0 value");
+  }
+  if (positional.size() > 3 && !parse_u64(positional[3], seed)) {
+    return bad_flag(positional[3], "bad seed value");
+  }
 
   auto file = spacefts::fits::read_file(in);
   spacefts::common::Rng rng(seed);
@@ -151,27 +285,43 @@ int cmd_corrupt(int argc, char** argv) {
 }
 
 int cmd_ingest(int argc, char** argv) {
-  if (argc < 4) return usage();
-  const std::string in = argv[2];
-  const std::string out = argv[3];
-  // Positional [lambda] [upsilon] first; --threads N may appear anywhere
-  // after <out>.
-  std::vector<std::string> positional;
+  // Positional <in> <out> [lambda] [upsilon]; flags may appear anywhere.
+  std::vector<const char*> positional;
   std::size_t threads = 1;
-  for (int i = 4; i < argc; ++i) {
+  TelemetryOptions telem;
+  for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
     if (arg == "--threads") {
-      if (i + 1 >= argc) return usage();
-      threads = std::strtoul(argv[++i], nullptr, 10);
+      const char* v = value();
+      if (!parse_size(v, threads)) return bad_flag(arg, "bad thread count");
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.metrics_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
     } else {
-      positional.push_back(arg);
+      positional.push_back(argv[i]);
     }
   }
-  const double lambda =
-      !positional.empty() ? std::strtod(positional[0].c_str(), nullptr) : 80.0;
-  const std::size_t upsilon =
-      positional.size() > 1 ? std::strtoul(positional[1].c_str(), nullptr, 10)
-                            : 4;
+  if (positional.size() < 2 || positional.size() > 4) return usage();
+  const std::string in = positional[0];
+  const std::string out = positional[1];
+  double lambda = 80.0;
+  std::size_t upsilon = 4;
+  if (positional.size() > 2 && !parse_double(positional[2], lambda)) {
+    return bad_flag(positional[2], "bad lambda value");
+  }
+  if (positional.size() > 3 && !parse_size(positional[3], upsilon)) {
+    return bad_flag(positional[3], "bad upsilon value");
+  }
 
   const auto bytes = spacefts::fits::read_bytes(in);
   spacefts::ingest::IngestConfig config;
@@ -180,6 +330,7 @@ int cmd_ingest(int argc, char** argv) {
   config.algo.threads = threads;
   config.expectation = probe_expectation(bytes);
 
+  telem.arm();
   const spacefts::ingest::IngestGuard guard(config);
   const auto result = guard.ingest(bytes);
   std::size_t issues = 0, repaired = 0;
@@ -190,7 +341,8 @@ int cmd_ingest(int argc, char** argv) {
   std::printf("sanity: %zu issue(s), %zu repaired\n", issues, repaired);
   if (!result.ok) {
     std::fprintf(stderr, "ingest failed: %s\n", result.error.c_str());
-    return 1;
+    const int telem_rc = telem.finish();
+    return telem_rc != 0 ? telem_rc : kExitFailure;
   }
   std::printf("preprocessing: %zu bits corrected across %zu pixels\n",
               result.preprocess.bits_corrected,
@@ -198,11 +350,14 @@ int cmd_ingest(int argc, char** argv) {
   spacefts::fits::write_bytes(out,
                               spacefts::ingest::IngestGuard::pack(result.stack));
   std::printf("wrote %s\n", out.c_str());
-  return 0;
+  return telem.finish();
 }
 
 int cmd_info(int argc, char** argv) {
-  if (argc < 3) return usage();
+  if (argc != 3) return usage();
+  if (std::string(argv[2]).rfind("--", 0) == 0) {
+    return bad_flag(argv[2], "unknown flag");
+  }
   const auto file = spacefts::fits::read_file(argv[2]);
   std::printf("%zu HDU(s)\n", file.hdus().size());
   for (std::size_t i = 0; i < file.hdus().size(); ++i) {
@@ -218,12 +373,17 @@ int cmd_info(int argc, char** argv) {
 }
 
 int cmd_psi(int argc, char** argv) {
-  if (argc < 4) return usage();
+  if (argc != 4) return usage();
+  for (int i = 2; i < 4; ++i) {
+    if (std::string(argv[i]).rfind("--", 0) == 0) {
+      return bad_flag(argv[i], "unknown flag");
+    }
+  }
   const auto a = load_stack(argv[2]);
   const auto b = load_stack(argv[3]);
   if (a.cube().size() != b.cube().size()) {
     std::fprintf(stderr, "baseline sizes differ\n");
-    return 1;
+    return kExitFailure;
   }
   const double psi = spacefts::metrics::average_relative_error<std::uint16_t>(
       a.cube().voxels(), b.cube().voxels());
@@ -231,8 +391,9 @@ int cmd_psi(int argc, char** argv) {
   return 0;
 }
 
-std::vector<double> parse_grid(const char* text) {
-  std::vector<double> values;
+[[nodiscard]] bool parse_grid(const char* text, std::vector<double>& values) {
+  values.clear();
+  if (text == nullptr) return false;
   const std::string s = text;
   std::size_t pos = 0;
   while (pos <= s.size()) {
@@ -240,72 +401,189 @@ std::vector<double> parse_grid(const char* text) {
     const std::string item =
         s.substr(pos, comma == std::string::npos ? std::string::npos
                                                  : comma - pos);
-    if (!item.empty()) values.push_back(std::strtod(item.c_str(), nullptr));
+    if (!item.empty()) {
+      double v = 0.0;
+      if (!parse_double(item.c_str(), v)) return false;
+      values.push_back(v);
+    }
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  return values;
+  return !values.empty();
+}
+
+int cmd_pipeline(int argc, char** argv) {
+  // One end-to-end run under a deliberately lively default fault model, so
+  // a default invocation's trace shows the full protocol (retries, CRC
+  // rejects, degraded completions) rather than a straight-line success.
+  std::size_t side = 32, frames = 16, workers = 4, fragment_side = 16,
+              retries = 3, threads = 1;
+  double gamma0 = 0.002, crash_prob = 0.1, link_loss = 0.3, lambda = 80.0;
+  std::uint64_t seed = 42;
+  TelemetryOptions telem;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--side") {
+      if (!parse_size(value(), side)) return bad_flag(arg, "bad value");
+    } else if (arg == "--frames") {
+      if (!parse_size(value(), frames)) return bad_flag(arg, "bad value");
+    } else if (arg == "--workers") {
+      if (!parse_size(value(), workers)) return bad_flag(arg, "bad value");
+    } else if (arg == "--fragment-side") {
+      if (!parse_size(value(), fragment_side)) return bad_flag(arg, "bad value");
+    } else if (arg == "--gamma0") {
+      if (!parse_double(value(), gamma0)) return bad_flag(arg, "bad value");
+    } else if (arg == "--crash") {
+      if (!parse_double(value(), crash_prob)) return bad_flag(arg, "bad value");
+    } else if (arg == "--link-loss") {
+      if (!parse_double(value(), link_loss)) return bad_flag(arg, "bad value");
+    } else if (arg == "--lambda") {
+      if (!parse_double(value(), lambda)) return bad_flag(arg, "bad value");
+    } else if (arg == "--retries") {
+      if (!parse_size(value(), retries)) return bad_flag(arg, "bad value");
+    } else if (arg == "--seed") {
+      if (!parse_u64(value(), seed)) return bad_flag(arg, "bad value");
+    } else if (arg == "--threads") {
+      if (!parse_size(value(), threads)) return bad_flag(arg, "bad value");
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.metrics_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
+    } else {
+      return usage();
+    }
+  }
+
+  telem.arm();
+  spacefts::datagen::NgstSimulator gen(seed);
+  spacefts::datagen::SceneParams scene;
+  scene.width = side;
+  scene.height = side;
+  auto readouts = gen.stack(frames, scene);
+
+  // The real acquisition path: container roundtrip through the ingest
+  // guard (Λ = 0, lossless) before the master scatters fragments.
+  spacefts::ingest::IngestConfig ic;
+  ic.expectation.bitpix = 16;
+  ic.expectation.width = static_cast<std::int64_t>(side);
+  ic.expectation.height = static_cast<std::int64_t>(side);
+  ic.algo.lambda = 0.0;
+  const spacefts::ingest::IngestGuard guard(ic);
+  auto ingested = guard.ingest(spacefts::ingest::IngestGuard::pack(readouts));
+  if (!ingested.ok) {
+    std::fprintf(stderr, "pipeline: ingest failed: %s\n",
+                 ingested.error.c_str());
+    return kExitFailure;
+  }
+  readouts = std::move(ingested.stack);
+
+  spacefts::dist::PipelineConfig pc;
+  pc.workers = workers;
+  pc.fragment_side = fragment_side;
+  pc.gamma0 = gamma0;
+  pc.worker_crash_prob = crash_prob;
+  pc.link.faults.drop_prob = link_loss;
+  pc.link.faults.corrupt_prob = link_loss;
+  pc.link.faults.duplicate_prob = link_loss / 2.0;
+  pc.link.faults.delay_prob = link_loss;
+  pc.algo.lambda = lambda;
+  pc.threads = threads;
+  pc.max_link_retries = retries;
+
+  spacefts::common::Rng rng = gen.rng().split();
+  const auto result = spacefts::dist::run_pipeline(readouts, pc, rng);
+
+  std::printf(
+      "pipeline: %zu fragments, coverage %.4f, makespan %.4fs\n"
+      "  faults injected %zu, pixels corrected %zu\n"
+      "  link retries %zu, crc failures %zu, byzantine rejected %zu\n"
+      "  worker crashes %zu, reassignments %zu, degraded fragments %zu\n",
+      result.fragments, result.coverage, result.makespan_s,
+      result.faults_injected, result.pixels_corrected, result.link_retries,
+      result.crc_failures, result.byzantine_rejected, result.worker_crashes,
+      result.reassignments, result.degraded_fragments);
+  return telem.finish();
 }
 
 int cmd_campaign(int argc, char** argv) {
   spacefts::campaign::CampaignConfig config;
   std::string out_path = "BENCH_campaign.json";
   bool enforce = false;
+  TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
+    auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--gamma0") {
-      const char* v = next();
-      if (!v) return usage();
-      config.gamma0_grid = parse_grid(v);
+      if (!parse_grid(value(), config.gamma0_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
     } else if (arg == "--crash") {
-      const char* v = next();
-      if (!v) return usage();
-      config.crash_grid = parse_grid(v);
+      if (!parse_grid(value(), config.crash_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
     } else if (arg == "--link-loss") {
-      const char* v = next();
-      if (!v) return usage();
-      config.link_loss_grid = parse_grid(v);
+      if (!parse_grid(value(), config.link_loss_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
     } else if (arg == "--lambda") {
-      const char* v = next();
-      if (!v) return usage();
-      config.lambda_grid = parse_grid(v);
+      if (!parse_grid(value(), config.lambda_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
     } else if (arg == "--trials") {
-      const char* v = next();
-      if (!v) return usage();
-      config.trials = std::strtoul(v, nullptr, 10);
+      if (!parse_size(value(), config.trials)) {
+        return bad_flag(arg, "bad value");
+      }
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return usage();
-      config.seed = std::strtoull(v, nullptr, 10);
+      if (!parse_u64(value(), config.seed)) return bad_flag(arg, "bad value");
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (!v) return usage();
-      config.threads = std::strtoul(v, nullptr, 10);
+      if (!parse_size(value(), config.threads)) {
+        return bad_flag(arg, "bad value");
+      }
     } else if (arg == "--retries") {
-      const char* v = next();
-      if (!v) return usage();
-      config.max_link_retries = std::strtoul(v, nullptr, 10);
+      if (!parse_size(value(), config.max_link_retries)) {
+        return bad_flag(arg, "bad value");
+      }
     } else if (arg == "--no-retries") {
       config.max_link_retries = 0;
     } else if (arg == "--out") {
-      const char* v = next();
-      if (!v) return usage();
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
       out_path = v;
     } else if (arg == "--enforce") {
       enforce = true;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.metrics_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
     } else {
       return usage();
     }
   }
 
+  telem.arm();
   const auto report = spacefts::campaign::run_campaign(config);
   spacefts::campaign::append_jsonl(report, out_path);
   std::printf("campaign: %zu cells, %zu/%zu trials survived; appended to %s\n",
               report.cells.size(), report.trials_survived, report.trials_run,
               out_path.c_str());
+  const int telem_rc = telem.finish();
   if (enforce) {
     std::string diagnostics;
     const std::size_t violations =
@@ -313,11 +591,11 @@ int cmd_campaign(int argc, char** argv) {
     if (violations > 0) {
       std::fprintf(stderr, "campaign enforce: %zu violation(s)\n%s",
                    violations, diagnostics.c_str());
-      return 1;
+      return kExitFailure;
     }
     std::printf("campaign enforce: pass\n");
   }
-  return 0;
+  return telem_rc;
 }
 
 }  // namespace
@@ -331,10 +609,12 @@ int main(int argc, char** argv) {
     if (command == "ingest") return cmd_ingest(argc, argv);
     if (command == "info") return cmd_info(argc, argv);
     if (command == "psi") return cmd_psi(argc, argv);
+    if (command == "pipeline") return cmd_pipeline(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
+  std::fprintf(stderr, "spacefts_cli: unknown verb '%s'\n", command.c_str());
   return usage();
 }
