@@ -1,0 +1,176 @@
+/// \file serve_bench.cpp
+/// Offered-load sweep over the preprocessing service.
+///
+/// Calibrates the mean per-request service time closed-loop, then replays a
+/// real-paced open-loop Poisson workload at 0.5×, 1× and 2× the measured
+/// service capacity in pure load-shedding mode (admission wait 0).  Per
+/// load level it prints and appends one JSON line to BENCH_serve.json:
+/// sustained throughput, e2e latency percentiles (p50/p95/p99) of completed
+/// requests, and the shed rate.  The 2× row demonstrates the paper-facing
+/// property: past saturation the server sheds instead of collapsing.
+///
+///   serve_bench [seed=42] [requests=120] [threads=2]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "spacefts/common/stats.hpp"
+#include "spacefts/serve/job.hpp"
+#include "spacefts/serve/server.hpp"
+#include "spacefts/serve/workload.hpp"
+
+namespace {
+
+namespace ss = spacefts::serve;
+using Clock = std::chrono::steady_clock;
+
+ss::WorkloadSpec base_spec(std::uint64_t seed, std::size_t requests) {
+  ss::WorkloadSpec spec;
+  spec.requests = requests;
+  spec.seed = seed;
+  spec.otis_fraction = 0.25;
+  spec.ngst_side = 16;
+  spec.ngst_frames = 8;
+  spec.otis_side = 16;
+  spec.otis_bands = 4;
+  return spec;
+}
+
+/// Closed-loop calibration: mean seconds of pure compute per request.
+double calibrate_service_s(std::uint64_t seed, std::size_t threads) {
+  auto spec = base_spec(seed, 32);
+  spec.rate_hz = 1e9;  // arrival times unused here
+  const ss::ExecContext ctx;
+  const auto items = ss::generate_workload(spec);
+  const auto start = Clock::now();
+  for (const auto& item : items) {
+    (void)ss::execute_job(item.request, /*corrupt_ingress=*/false, ctx);
+  }
+  const double total_s = std::chrono::duration<double>(Clock::now() - start).count();
+  // Workers run batches independently, so capacity scales with threads.
+  return total_s / static_cast<double>(items.size()) /
+         static_cast<double>(threads);
+}
+
+struct LoadPoint {
+  double offered_load = 0.0;  ///< multiple of measured capacity
+  double offered_rps = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double shed_rate = 0.0;
+  std::uint64_t completed = 0, shed = 0, failed = 0;
+};
+
+LoadPoint run_level(double offered_load, double capacity_rps,
+                    std::uint64_t seed, std::size_t requests,
+                    std::size_t threads) {
+  LoadPoint point;
+  point.offered_load = offered_load;
+  point.offered_rps = offered_load * capacity_rps;
+
+  auto spec = base_spec(seed, requests);
+  spec.rate_hz = point.offered_rps;
+  const auto items = ss::generate_workload(spec);
+
+  ss::ServerConfig config;
+  config.capacity = std::max<std::size_t>(4, threads * 4);
+  config.workers = threads;
+  config.max_batch = 4;
+  config.admission_timeout_ms = 0.0;  // shed mode: reject on full
+  ss::Server server(config);
+
+  const auto start = Clock::now();
+  for (const auto& item : items) {
+    // Open loop: arrivals follow the workload clock, not the server.
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(item.arrival_s)));
+    (void)server.submit(item.request);
+  }
+  server.wait_idle();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  server.drain();
+
+  const auto stats = server.stats();
+  point.completed = stats.completed;
+  point.shed = stats.shed;
+  point.failed = stats.failed;
+  point.shed_rate =
+      static_cast<double>(stats.shed) / static_cast<double>(stats.submitted);
+  point.throughput_rps =
+      wall_s > 0.0 ? static_cast<double>(stats.completed) / wall_s : 0.0;
+
+  std::vector<double> latencies_ms;
+  for (const auto& result : server.take_results()) {
+    if (result.status == ss::ServeStatus::kOk) {
+      latencies_ms.push_back(result.e2e_ms);
+    }
+  }
+  if (!latencies_ms.empty()) {
+    point.p50_ms = spacefts::common::percentile(latencies_ms, 50);
+    point.p95_ms = spacefts::common::percentile(latencies_ms, 95);
+    point.p99_ms = spacefts::common::percentile(latencies_ms, 99);
+  }
+  return point;
+}
+
+std::string to_jsonl(const LoadPoint& p, std::size_t threads) {
+  namespace jsonl = spacefts::telemetry::jsonl;
+  std::string line = "{\"bench\": \"serve\", \"offered_load\": ";
+  jsonl::append_fmt(line, "%g", p.offered_load);
+  jsonl::append_fmt(line, ", \"offered_rps\": %.6g", p.offered_rps);
+  jsonl::append_fmt(line, ", \"throughput_rps\": %.6g", p.throughput_rps);
+  jsonl::append_fmt(line, ", \"p50_ms\": %.6g", p.p50_ms);
+  jsonl::append_fmt(line, ", \"p95_ms\": %.6g", p.p95_ms);
+  jsonl::append_fmt(line, ", \"p99_ms\": %.6g", p.p99_ms);
+  jsonl::append_fmt(line, ", \"shed_rate\": %.6g", p.shed_rate);
+  line += ", \"completed\": " + std::to_string(p.completed);
+  line += ", \"shed\": " + std::to_string(p.shed);
+  line += ", \"failed\": " + std::to_string(p.failed);
+  line += ", \"threads\": " + std::to_string(threads);
+  line += "}\n";
+  return line;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 42;
+  std::size_t requests = 120, threads = 2;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) requests = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) threads = std::strtoul(argv[3], nullptr, 10);
+  if (requests == 0 || threads == 0) {
+    std::fprintf(stderr, "serve_bench: requests and threads must be > 0\n");
+    return 1;
+  }
+
+  const double service_s = calibrate_service_s(seed, threads);
+  const double capacity_rps = 1.0 / service_s;
+  std::printf("serve_bench: calibrated capacity %.1f req/s (%zu threads)\n",
+              capacity_rps, threads);
+
+  std::printf("%8s %12s %14s %9s %9s %9s %9s\n", "load", "offered", "throughput",
+              "p50_ms", "p95_ms", "p99_ms", "shed");
+  std::string lines;
+  bool overload_shed = false;
+  for (const double load : {0.5, 1.0, 2.0}) {
+    const auto point = run_level(load, capacity_rps, seed, requests, threads);
+    std::printf("%8.2g %10.1f/s %12.1f/s %9.3f %9.3f %9.3f %8.1f%%\n",
+                point.offered_load, point.offered_rps, point.throughput_rps,
+                point.p50_ms, point.p95_ms, point.p99_ms,
+                point.shed_rate * 100.0);
+    lines += to_jsonl(point, threads);
+    if (load >= 2.0 && point.shed > 0) overload_shed = true;
+  }
+  bench::append_jsonl(lines, "BENCH_serve.json");
+  std::printf("serve_bench: wrote BENCH_serve.json, overload %s\n",
+              overload_shed ? "shed (expected)" : "did not shed");
+  return 0;
+}

@@ -84,17 +84,12 @@ std::vector<Cell> enumerate_cells(const CampaignConfig& config) {
   return cells;
 }
 
-/// Stateless per-trial seed: a SplitMix64 chain over (campaign seed, cell,
-/// trial).  Depends only on indices, never on execution order, so the same
-/// trial always replays the same run regardless of thread count.
+/// Stateless per-trial seed over (campaign seed, cell, trial); the shared
+/// helper guarantees the same trial always replays the same run regardless
+/// of thread count.
 std::uint64_t trial_seed(std::uint64_t seed, std::size_t cell,
                          std::size_t trial) {
-  std::uint64_t state = seed;
-  (void)common::splitmix64(state);
-  state ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(cell) + 1);
-  (void)common::splitmix64(state);
-  state ^= 0xbf58476d1ce4e5b9ULL * (static_cast<std::uint64_t>(trial) + 1);
-  return common::splitmix64(state);
+  return common::derive_stream_seed(seed, cell, trial);
 }
 
 TrialRecord run_trial(const CampaignConfig& config, const Cell& cell,

@@ -23,6 +23,21 @@ namespace spacefts::common {
   return z ^ (z >> 31);
 }
 
+/// Stateless two-index stream seed: a SplitMix64 chain over (base, a, b).
+/// The result depends only on the indices, never on call order or thread
+/// scheduling, so campaign trials, serve-workload requests, and any other
+/// indexed consumer derive replayable sub-streams that are bit-identical
+/// for every thread count.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(
+    std::uint64_t base, std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = base;
+  (void)splitmix64(state);
+  state ^= 0x9e3779b97f4a7c15ULL * (a + 1);
+  (void)splitmix64(state);
+  state ^= 0xbf58476d1ce4e5b9ULL * (b + 1);
+  return splitmix64(state);
+}
+
 /// xoshiro256** 1.0 — fast, high-quality 64-bit PRNG with 2^256-1 period.
 ///
 /// Satisfies std::uniform_random_bit_generator so it can also feed standard

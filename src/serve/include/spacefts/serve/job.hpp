@@ -1,0 +1,54 @@
+/// \file job.hpp
+/// Batch job execution: one constructed preprocessing stack serving every
+/// request of a same-shape batch.
+///
+/// This is where the serving layer meets the paper's machinery.  A batch is
+/// a set of requests agreeing on (kind, side, frames, Λ) — so the executor
+/// builds the ingest guard / Algo_OTIS *once* and reuses it for every item,
+/// the same economy an inference server gets from shape-bucketed batching.
+/// Execution is a pure function of each request's JobSpec (datasets and
+/// fault streams are derived from the request seed via
+/// common::derive_stream_seed), which makes every product bit-identical to
+/// the single-request path regardless of batching, worker count, or load.
+#pragma once
+
+#include <cstdint>
+
+#include "spacefts/fault/message_faults.hpp"
+#include "spacefts/serve/queue.hpp"
+#include "spacefts/serve/request.hpp"
+
+namespace spacefts::serve {
+
+/// Server-wide execution knobs shared by every batch.
+struct ExecContext {
+  /// Lanes each batch item's stack preprocessing uses on the shared
+  /// common::parallel pool; 1 = serial.  Output is bit-identical either way.
+  std::size_t algo_threads = 1;
+  /// Shape of the dist pipeline for run_pipeline jobs.
+  std::size_t pipeline_workers = 4;
+  std::size_t fragment_side = 16;
+  /// Ingress link model (drop is applied at admission by the server;
+  /// corruption is applied here, to the packed request payload).
+  fault::MessageFaultConfig ingress{};
+  std::uint64_t ingress_seed = 0x5e12e;  ///< base of per-request fault streams
+};
+
+/// Validates a JobSpec against the context.
+/// \throws std::invalid_argument with a message naming the offending field.
+void validate_job(const JobSpec& job, const ExecContext& ctx);
+
+/// Executes one request.  `corrupt_ingress` marks a payload the ingress
+/// link corrupted in transit (decided by the server's admission sampling);
+/// the corruption pattern itself is drawn from the request's derived fault
+/// stream, so it is replayable.  Never throws: execution errors come back
+/// as status kFailed.  Timing fields are left zeroed (the server owns the
+/// clocks).
+[[nodiscard]] RequestResult execute_job(const Request& request,
+                                        bool corrupt_ingress,
+                                        const ExecContext& ctx);
+
+/// The shape key a request batches under.
+[[nodiscard]] ShapeKey shape_of(const JobSpec& job) noexcept;
+
+}  // namespace spacefts::serve

@@ -1,0 +1,70 @@
+/// \file workload.hpp
+/// Open-loop synthetic workloads and the JSONL replay format.
+///
+/// A workload is a list of (arrival time, request) pairs.  The generator
+/// draws Poisson arrivals (exponential inter-arrival gaps at `rate_hz`) and
+/// a seeded NGST/OTIS mix; every per-request choice — kind, priority,
+/// dataset seed — comes from common::derive_stream_seed chains over
+/// (workload seed, request index), so a workload file regenerates
+/// bit-identically and each request's compute is replayable in isolation.
+///
+/// The JSONL round-trip (to_jsonl / parse_workload_jsonl) is the
+/// `spacefts_cli serve --replay` interchange format: one request per line,
+/// stable field order, %.10g doubles.  results_to_jsonl renders only the
+/// *deterministic* result fields (status, checksum, correction counters),
+/// sorted by id — the file CI byte-compares across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spacefts/serve/request.hpp"
+
+namespace spacefts::serve {
+
+/// Knobs of the synthetic generator.
+struct WorkloadSpec {
+  std::size_t requests = 200;
+  double rate_hz = 200.0;  ///< Poisson arrival rate (open loop)
+  std::uint64_t seed = 42;
+  double otis_fraction = 0.25;     ///< mix of OTIS cube jobs
+  double pipeline_fraction = 0.0;  ///< NGST jobs that run the dist pipeline
+  std::size_t ngst_side = 32;
+  std::size_t ngst_frames = 16;
+  std::size_t otis_side = 24;
+  std::size_t otis_bands = 6;
+  double lambda = 80.0;
+  double gamma0 = 0.0;     ///< pipeline memory-fault knob per request
+  double link_loss = 0.0;  ///< pipeline link-fault knob per request
+  int priority_levels = 3; ///< priorities drawn uniformly from [0, levels)
+  double deadline_ms = 0.0;  ///< uniform per-request deadline; 0 = none
+};
+
+/// One scheduled request of a workload.
+struct WorkloadItem {
+  double arrival_s = 0.0;  ///< offset from workload start
+  Request request;
+};
+
+/// Deterministic generation.  \throws std::invalid_argument for zero
+/// requests, a non-positive rate, or fractions outside [0, 1].
+[[nodiscard]] std::vector<WorkloadItem> generate_workload(
+    const WorkloadSpec& spec);
+
+/// One JSON line per request, stable field order.
+[[nodiscard]] std::string to_jsonl(const std::vector<WorkloadItem>& items);
+
+/// Parses to_jsonl() output (blank lines ignored).  \throws
+/// std::runtime_error naming the first malformed line.
+[[nodiscard]] std::vector<WorkloadItem> parse_workload_jsonl(
+    std::string_view text);
+
+/// The deterministic per-request result file: sorted by id, timing fields
+/// excluded, one JSON line per request.  Byte-identical across server
+/// thread counts for any workload whose statuses are load-independent
+/// (no finite deadlines, non-shedding admission).
+[[nodiscard]] std::string results_to_jsonl(std::vector<RequestResult> results);
+
+}  // namespace spacefts::serve

@@ -1,0 +1,199 @@
+#include "spacefts/serve/job.hpp"
+
+#include <cstring>
+#include <exception>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/datagen/ngst.hpp"
+#include "spacefts/datagen/otis_scenes.hpp"
+#include "spacefts/dist/pipeline.hpp"
+#include "spacefts/edac/crc32.hpp"
+#include "spacefts/ingest/guard.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
+
+namespace spacefts::serve {
+namespace {
+
+/// Sub-stream indices of a request's derived fault/compute streams.  Fixed
+/// and documented so replays stay stable across refactors.
+enum StreamIndex : std::uint64_t {
+  kStreamIngress = 1,   ///< ingress payload corruption pattern
+  kStreamPipeline = 2,  ///< dist pipeline memory/link fault stream
+};
+
+template <typename T, std::size_t N>
+std::span<const std::uint8_t> byte_view(std::span<T, N> values) {
+  return {reinterpret_cast<const std::uint8_t*>(values.data()),
+          values.size() * sizeof(T)};
+}
+
+template <typename T, std::size_t N>
+std::span<std::uint8_t> writable_byte_view(std::span<T, N> values) {
+  return {reinterpret_cast<std::uint8_t*>(values.data()),
+          values.size() * sizeof(T)};
+}
+
+RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
+                           const ExecContext& ctx) {
+  const JobSpec& job = request.job;
+  RequestResult result;
+  result.id = request.id;
+  result.kind = job.kind;
+
+  datagen::NgstSimulator sim(job.seed);
+  datagen::SceneParams scene;
+  scene.width = job.side;
+  scene.height = job.side;
+  auto stack = sim.stack(job.frames, scene);
+  auto payload = ingest::IngestGuard::pack(stack);
+
+  if (corrupt_ingress) {
+    // The transit leg: flip payload bits (headers included — the sanity
+    // layer exists precisely to repair those) with the request's own
+    // replayable fault stream.
+    const fault::MessageFaultModel link(ctx.ingress);
+    common::Rng fault_rng(
+        common::derive_stream_seed(ctx.ingress_seed, request.id,
+                                   kStreamIngress));
+    result.ingress_bits_corrupted = link.corrupt(payload, fault_rng);
+  }
+
+  ingest::IngestConfig ic;
+  ic.expectation.bitpix = 16;
+  ic.expectation.width = static_cast<std::int64_t>(job.side);
+  ic.expectation.height = static_cast<std::int64_t>(job.side);
+  ic.algo.lambda = job.lambda;
+  ic.algo.threads = ctx.algo_threads;
+  const ingest::IngestGuard guard(ic);
+  auto ingested = guard.ingest(payload);
+  if (!ingested.ok) {
+    result.status = ServeStatus::kFailed;
+    result.error = "ingest: " + ingested.error;
+    return result;
+  }
+  result.pixels_corrected = ingested.preprocess.pixels_corrected;
+  result.bits_corrected = ingested.preprocess.bits_corrected;
+  std::uint32_t crc =
+      edac::crc32(byte_view(ingested.stack.cube().voxels()));
+
+  if (job.run_pipeline) {
+    dist::PipelineConfig pc;
+    pc.workers = ctx.pipeline_workers;
+    pc.fragment_side = ctx.fragment_side;
+    pc.gamma0 = job.gamma0;
+    pc.worker_crash_prob = 0.0;
+    pc.link.faults.drop_prob = job.link_loss;
+    pc.link.faults.corrupt_prob = job.link_loss;
+    pc.link.faults.duplicate_prob = job.link_loss / 2.0;
+    pc.link.faults.delay_prob = job.link_loss;
+    pc.algo.lambda = job.lambda;
+    pc.threads = ctx.algo_threads;
+    common::Rng pipeline_rng(
+        common::derive_stream_seed(job.seed, request.id, kStreamPipeline));
+    const auto pipeline = dist::run_pipeline(ingested.stack, pc, pipeline_rng);
+    result.coverage = pipeline.coverage;
+    result.pixels_corrected += pipeline.pixels_corrected;
+    crc = edac::crc32(byte_view(pipeline.flux.pixels()), crc);
+  }
+
+  result.checksum = crc;
+  result.status = ServeStatus::kOk;
+  return result;
+}
+
+RequestResult execute_otis(const Request& request, bool corrupt_ingress,
+                           const ExecContext& ctx) {
+  const JobSpec& job = request.job;
+  RequestResult result;
+  result.id = request.id;
+  result.kind = job.kind;
+
+  datagen::OtisSceneGenerator gen(job.seed);
+  datagen::OtisSceneParams params;
+  params.width = job.side;
+  params.height = job.side;
+  params.bands = job.frames;
+  // The morphology rotates with the seed so a mixed workload covers the
+  // paper's whole gamut (Blob / Stripe / Spots).
+  const auto kind = static_cast<datagen::OtisSceneKind>(job.seed % 3);
+  auto scene = gen.generate(kind, params);
+
+  if (corrupt_ingress) {
+    const fault::MessageFaultModel link(ctx.ingress);
+    common::Rng fault_rng(
+        common::derive_stream_seed(ctx.ingress_seed, request.id,
+                                   kStreamIngress));
+    result.ingress_bits_corrupted =
+        link.corrupt(writable_byte_view(scene.radiance.voxels()), fault_rng);
+  }
+
+  core::AlgoOtisConfig oc;
+  oc.lambda = job.lambda;
+  oc.threads = ctx.algo_threads;
+  const core::AlgoOtis algo(oc);
+  const auto report = algo.preprocess(scene.radiance, scene.wavelengths_um);
+  result.pixels_corrected = report.bit_corrected + report.median_replaced;
+  result.bits_corrected = report.bit_corrected;
+  result.checksum = edac::crc32(byte_view(scene.radiance.voxels()));
+  result.status = ServeStatus::kOk;
+  return result;
+}
+
+}  // namespace
+
+void validate_job(const JobSpec& job, const ExecContext& ctx) {
+  if (job.side == 0) throw std::invalid_argument("serve: job side must be > 0");
+  if (job.kind == JobKind::kNgst && job.frames < 3) {
+    throw std::invalid_argument(
+        "serve: NGST jobs need >= 3 readouts (temporal voting)");
+  }
+  if (job.kind == JobKind::kOtis && job.frames == 0) {
+    throw std::invalid_argument("serve: OTIS jobs need >= 1 band");
+  }
+  if (!(job.lambda >= 0.0 && job.lambda <= 100.0)) {
+    throw std::invalid_argument("serve: lambda outside [0, 100]");
+  }
+  if (!(job.gamma0 >= 0.0 && job.gamma0 <= 1.0) ||
+      !(job.link_loss >= 0.0 && job.link_loss <= 1.0)) {
+    throw std::invalid_argument("serve: fault probability outside [0, 1]");
+  }
+  if (job.run_pipeline) {
+    if (job.kind != JobKind::kNgst) {
+      throw std::invalid_argument(
+          "serve: run_pipeline applies to NGST jobs only");
+    }
+    if (ctx.fragment_side == 0 || job.side % ctx.fragment_side != 0) {
+      throw std::invalid_argument(
+          "serve: job side must be a multiple of fragment_side");
+    }
+  }
+}
+
+RequestResult execute_job(const Request& request, bool corrupt_ingress,
+                          const ExecContext& ctx) {
+  SPACEFTS_TSPAN("serve.request",
+                 {"id", static_cast<double>(request.id)},
+                 {"priority", static_cast<double>(request.priority)});
+  try {
+    return request.job.kind == JobKind::kNgst
+               ? execute_ngst(request, corrupt_ingress, ctx)
+               : execute_otis(request, corrupt_ingress, ctx);
+  } catch (const std::exception& e) {
+    RequestResult result;
+    result.id = request.id;
+    result.kind = request.job.kind;
+    result.status = ServeStatus::kFailed;
+    result.error = e.what();
+    return result;
+  }
+}
+
+ShapeKey shape_of(const JobSpec& job) noexcept {
+  return ShapeKey{job.kind, job.side, job.frames, job.lambda};
+}
+
+}  // namespace spacefts::serve

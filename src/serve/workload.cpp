@@ -1,0 +1,229 @@
+#include "spacefts/serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/telemetry/jsonl.hpp"
+
+namespace spacefts::serve {
+namespace {
+
+using telemetry::jsonl::append_fmt;
+
+/// Sub-stream indices of the generator's derived streams (documented so a
+/// committed workload file can be re-derived forever).
+enum WorkloadStream : std::uint64_t {
+  kStreamArrival = 0,
+  kStreamMix = 1,
+  kStreamDataset = 2,
+};
+
+/// Strict double parse of a whole token.
+bool parse_double_token(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+/// Extracts the raw token following `"key":` (up to ',' or '}'),
+/// whitespace-free by construction of to_jsonl.  False when absent.
+bool find_token(std::string_view line, std::string_view key,
+                std::string& out) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  const auto start = pos + needle.size();
+  auto end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out.assign(line.substr(start, end - start));
+  return !out.empty();
+}
+
+bool find_number(std::string_view line, std::string_view key, double& out) {
+  std::string token;
+  return find_token(line, key, token) && parse_double_token(token, out);
+}
+
+/// Full-precision unsigned parse (a 64-bit seed does not survive a double
+/// round-trip).
+bool find_u64(std::string_view line, std::string_view key,
+              std::uint64_t& out) {
+  std::string token;
+  if (!find_token(line, key, token) || token.empty() || token[0] == '-') {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
+std::vector<WorkloadItem> generate_workload(const WorkloadSpec& spec) {
+  if (spec.requests == 0) {
+    throw std::invalid_argument("workload: requests must be > 0");
+  }
+  if (!(spec.rate_hz > 0.0)) {
+    throw std::invalid_argument("workload: rate_hz must be > 0");
+  }
+  for (const double f : {spec.otis_fraction, spec.pipeline_fraction}) {
+    if (!(f >= 0.0 && f <= 1.0)) {
+      throw std::invalid_argument("workload: fraction outside [0, 1]");
+    }
+  }
+  if (spec.priority_levels <= 0) {
+    throw std::invalid_argument("workload: priority_levels must be > 0");
+  }
+
+  std::vector<WorkloadItem> items;
+  items.reserve(spec.requests);
+  common::Rng arrivals(
+      common::derive_stream_seed(spec.seed, kStreamArrival, 0));
+  double clock_s = 0.0;
+  for (std::size_t i = 0; i < spec.requests; ++i) {
+    // Exponential inter-arrival gap: open-loop Poisson process.
+    clock_s += -std::log1p(-arrivals.uniform()) / spec.rate_hz;
+
+    common::Rng mix(common::derive_stream_seed(spec.seed, kStreamMix, i));
+    WorkloadItem item;
+    item.arrival_s = clock_s;
+    Request& req = item.request;
+    req.id = i;
+    req.priority = static_cast<int>(
+        mix.below(static_cast<std::uint64_t>(spec.priority_levels)));
+    req.deadline_ms = spec.deadline_ms;
+    JobSpec& job = req.job;
+    job.lambda = spec.lambda;
+    job.seed = common::derive_stream_seed(spec.seed, kStreamDataset, i);
+    if (mix.bernoulli(spec.otis_fraction)) {
+      job.kind = JobKind::kOtis;
+      job.side = spec.otis_side;
+      job.frames = spec.otis_bands;
+    } else {
+      job.kind = JobKind::kNgst;
+      job.side = spec.ngst_side;
+      job.frames = spec.ngst_frames;
+      if (mix.bernoulli(spec.pipeline_fraction)) {
+        job.run_pipeline = true;
+        job.gamma0 = spec.gamma0;
+        job.link_loss = spec.link_loss;
+      }
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::string to_jsonl(const std::vector<WorkloadItem>& items) {
+  std::string out;
+  out.reserve(items.size() * 192);
+  for (const WorkloadItem& item : items) {
+    const Request& req = item.request;
+    const JobSpec& job = req.job;
+    out += "{\"id\":" + std::to_string(req.id);
+    append_fmt(out, ",\"arrival_s\":%.10g", item.arrival_s);
+    out += ",\"kind\":\"";
+    out += to_string(job.kind);
+    out += "\",\"side\":" + std::to_string(job.side);
+    out += ",\"frames\":" + std::to_string(job.frames);
+    append_fmt(out, ",\"lambda\":%.10g", job.lambda);
+    out += ",\"seed\":" + std::to_string(job.seed);
+    out += ",\"priority\":" + std::to_string(req.priority);
+    append_fmt(out, ",\"deadline_ms\":%.10g", req.deadline_ms);
+    out += ",\"run_pipeline\":";
+    out += job.run_pipeline ? "true" : "false";
+    append_fmt(out, ",\"gamma0\":%.10g", job.gamma0);
+    append_fmt(out, ",\"link_loss\":%.10g", job.link_loss);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::vector<WorkloadItem> parse_workload_jsonl(std::string_view text) {
+  std::vector<WorkloadItem> items;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto eol = text.find('\n', pos);
+    const auto line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+
+    const auto fail = [&](const char* what) -> std::vector<WorkloadItem> {
+      throw std::runtime_error("workload line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    WorkloadItem item;
+    Request& req = item.request;
+    JobSpec& job = req.job;
+    double value = 0.0;
+    std::string token;
+
+    if (!find_u64(line, "id", req.id)) fail("bad id");
+    if (!find_number(line, "arrival_s", item.arrival_s)) fail("bad arrival_s");
+    if (!find_token(line, "kind", token)) fail("missing kind");
+    if (token == "\"ngst\"") {
+      job.kind = JobKind::kNgst;
+    } else if (token == "\"otis\"") {
+      job.kind = JobKind::kOtis;
+    } else {
+      fail("unknown kind");
+    }
+    if (!find_number(line, "side", value) || value <= 0) fail("bad side");
+    job.side = static_cast<std::size_t>(value);
+    if (!find_number(line, "frames", value) || value <= 0) fail("bad frames");
+    job.frames = static_cast<std::size_t>(value);
+    if (!find_number(line, "lambda", job.lambda)) fail("bad lambda");
+    if (!find_u64(line, "seed", job.seed)) fail("bad seed");
+    if (!find_number(line, "priority", value)) fail("bad priority");
+    req.priority = static_cast<int>(value);
+    if (!find_number(line, "deadline_ms", req.deadline_ms)) {
+      fail("bad deadline_ms");
+    }
+    if (find_token(line, "run_pipeline", token)) {
+      if (token != "true" && token != "false") fail("bad run_pipeline");
+      job.run_pipeline = token == "true";
+    }
+    if (!find_number(line, "gamma0", job.gamma0)) job.gamma0 = 0.0;
+    if (!find_number(line, "link_loss", job.link_loss)) job.link_loss = 0.0;
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+std::string results_to_jsonl(std::vector<RequestResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const RequestResult& a, const RequestResult& b) {
+              return a.id < b.id;
+            });
+  std::string out;
+  out.reserve(results.size() * 128);
+  for (const RequestResult& r : results) {
+    out += "{\"id\":" + std::to_string(r.id);
+    out += ",\"kind\":\"";
+    out += to_string(r.kind);
+    out += "\",\"status\":\"";
+    out += to_string(r.status);
+    out += "\",\"checksum\":" + std::to_string(r.checksum);
+    out += ",\"pixels_corrected\":" + std::to_string(r.pixels_corrected);
+    out += ",\"bits_corrected\":" + std::to_string(r.bits_corrected);
+    out += ",\"ingress_bits\":" + std::to_string(r.ingress_bits_corrupted);
+    append_fmt(out, ",\"coverage\":%.10g", r.coverage);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace spacefts::serve

@@ -103,6 +103,23 @@ TEST(Rng, SatisfiesUniformRandomBitGenerator) {
   SUCCEED();
 }
 
+TEST(Rng, DeriveStreamSeedGoldenValues) {
+  // Frozen outputs: campaign trial seeds and serve workload/fault streams
+  // are derived through this chain, so a change here silently invalidates
+  // every committed artifact (workload files, campaign baselines).
+  EXPECT_EQ(sc::derive_stream_seed(42, 3, 7), 16192931503407825096ULL);
+  EXPECT_EQ(sc::derive_stream_seed(0, 0, 0), 3852735613347767281ULL);
+}
+
+TEST(Rng, DeriveStreamSeedSeparatesStreams) {
+  const auto base = sc::derive_stream_seed(1, 2, 3);
+  EXPECT_NE(base, sc::derive_stream_seed(2, 2, 3));
+  EXPECT_NE(base, sc::derive_stream_seed(1, 3, 3));
+  EXPECT_NE(base, sc::derive_stream_seed(1, 2, 4));
+  // (a, b) must not collapse into (b, a).
+  EXPECT_NE(sc::derive_stream_seed(1, 2, 3), sc::derive_stream_seed(1, 3, 2));
+}
+
 // ---------------------------------------------------------------------- Image
 
 TEST(Image, ConstructAndIndex) {

@@ -30,8 +30,19 @@
 ///       append one JSON line per grid cell to --out (default
 ///       BENCH_campaign.json), and with --enforce exit non-zero on any
 ///       survival or clean-memory-coverage regression
+///   spacefts_cli serve [--replay <workload.jsonl> | synthetic-workload
+///                      flags] [server flags]
+///       run the preprocessing service over a workload: either replay a
+///       committed JSONL workload file or generate a seeded open-loop
+///       Poisson workload in-process; write the deterministic per-request
+///       results with --results-out, the workload with --workload-out
+///       (--gen-only stops after generating)
+///   spacefts_cli version | --version
+///       print the tool version
+///   spacefts_cli help [verb]
+///       print the global usage, or one verb's usage
 ///
-/// `ingest`, `pipeline`, and `campaign` additionally accept
+/// `ingest`, `pipeline`, `campaign`, and `serve` additionally accept
 ///   --trace-out <file>    write a Chrome trace_event JSON of the run
 ///                         (open in chrome://tracing or Perfetto)
 ///   --metrics-out <file>  write the telemetry counters/histograms as JSONL
@@ -39,9 +50,13 @@
 /// Exit codes: 0 success, 1 operation failed, 2 usage error (unknown verb,
 /// missing positionals), 3 bad flag (unknown flag or malformed value).
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "spacefts/campaign/campaign.hpp"
@@ -53,7 +68,13 @@
 #include "spacefts/fits/sanity.hpp"
 #include "spacefts/ingest/guard.hpp"
 #include "spacefts/metrics/error.hpp"
+#include "spacefts/serve/server.hpp"
+#include "spacefts/serve/workload.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
+
+#ifndef SPACEFTS_VERSION
+#define SPACEFTS_VERSION "0.0.0"
+#endif
 
 namespace {
 
@@ -61,28 +82,76 @@ constexpr int kExitFailure = 1;  ///< the operation itself failed
 constexpr int kExitUsage = 2;    ///< unknown verb / missing positionals
 constexpr int kExitBadFlag = 3;  ///< unknown flag or malformed flag value
 
+/// One entry per verb: the usage synopsis doubles as `help <verb>` output.
+struct VerbHelp {
+  const char* verb;
+  const char* synopsis;
+};
+
+constexpr VerbHelp kVerbHelp[] = {
+    {"gen", "  spacefts_cli gen <out.fits> [frames=64] [side=32] [seed=1]\n"},
+    {"corrupt",
+     "  spacefts_cli corrupt <in> <out> <gamma0> [seed=2] [--header]\n"},
+    {"ingest",
+     "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]"
+     " [--threads N]\n"},
+    {"info", "  spacefts_cli info <in>\n"},
+    {"psi", "  spacefts_cli psi <a> <b>\n"},
+    {"pipeline",
+     "  spacefts_cli pipeline [--side N] [--frames N] [--workers N]"
+     " [--fragment-side N]\n"
+     "                [--gamma0 X] [--crash X] [--link-loss X] [--lambda X]\n"
+     "                [--retries N] [--seed S] [--threads N]\n"},
+    {"campaign",
+     "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
+     " [--link-loss a,b] [--lambda a,b]\n"
+     "                [--trials N] [--seed S] [--threads N] [--retries N]"
+     " [--no-retries]\n"
+     "                [--out path] [--enforce]\n"},
+    {"serve",
+     "  spacefts_cli serve [--replay file | --requests N --rate X"
+     " [--otis-frac X]\n"
+     "                [--pipeline-frac X] [--deadline-ms X] [--priorities N]"
+     " [--seed S]]\n"
+     "                [--capacity N] [--threads N] [--batch N]"
+     " [--linger-ms X]\n"
+     "                [--admit-wait-ms X] [--pace] [--ingress-drop X]"
+     " [--ingress-corrupt X]\n"
+     "                [--results-out file] [--workload-out file]"
+     " [--gen-only]\n"},
+    {"version", "  spacefts_cli version | --version\n"},
+    {"help", "  spacefts_cli help [verb]\n"},
+};
+
+void print_usage(std::FILE* stream) {
+  std::fputs("usage:\n", stream);
+  for (const auto& entry : kVerbHelp) std::fputs(entry.synopsis, stream);
+  std::fputs(
+      "  ingest/pipeline/campaign/serve also accept --trace-out <file>"
+      " and --metrics-out <file>\n",
+      stream);
+}
+
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  spacefts_cli gen <out.fits> [frames=64] [side=32] [seed=1]\n"
-               "  spacefts_cli corrupt <in> <out> <gamma0> [seed=2] [--header]\n"
-               "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]"
-               " [--threads N]\n"
-               "  spacefts_cli info <in>\n"
-               "  spacefts_cli psi <a> <b>\n"
-               "  spacefts_cli pipeline [--side N] [--frames N] [--workers N]"
-               " [--fragment-side N]\n"
-               "                [--gamma0 X] [--crash X] [--link-loss X]"
-               " [--lambda X]\n"
-               "                [--retries N] [--seed S] [--threads N]\n"
-               "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
-               " [--link-loss a,b] [--lambda a,b]\n"
-               "                [--trials N] [--seed S] [--threads N]"
-               " [--retries N] [--no-retries]\n"
-               "                [--out path] [--enforce]\n"
-               "  ingest/pipeline/campaign also accept --trace-out <file>"
-               " and --metrics-out <file>\n");
+  print_usage(stderr);
   return kExitUsage;
+}
+
+int cmd_help(int argc, char** argv) {
+  if (argc < 3) {
+    print_usage(stdout);
+    return 0;
+  }
+  const std::string verb = argv[2];
+  for (const auto& entry : kVerbHelp) {
+    if (verb == entry.verb) {
+      std::fputs("usage:\n", stdout);
+      std::fputs(entry.synopsis, stdout);
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "spacefts_cli: help: unknown verb '%s'\n", verb.c_str());
+  return usage();
 }
 
 int bad_flag(const std::string& flag, const char* detail) {
@@ -598,11 +667,203 @@ int cmd_campaign(int argc, char** argv) {
   return telem_rc;
 }
 
+int cmd_serve(int argc, char** argv) {
+  std::string replay_path, results_out, workload_out;
+  bool gen_only = false, pace = false;
+  spacefts::serve::WorkloadSpec spec;
+  spacefts::serve::ServerConfig config;
+  // Replay defaults favour determinism: a bounded admission wait long
+  // enough that statuses do not depend on scheduling luck.  Overload
+  // studies opt into shedding with --admit-wait-ms 0.
+  config.admission_timeout_ms = 10'000.0;
+  config.exec.fragment_side = 8;
+  spec.ngst_side = 16;
+  spec.ngst_frames = 8;
+  TelemetryOptions telem;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      replay_path = v;
+    } else if (arg == "--requests") {
+      if (!parse_size(value(), spec.requests)) return bad_flag(arg, "bad value");
+    } else if (arg == "--rate") {
+      if (!parse_double(value(), spec.rate_hz)) return bad_flag(arg, "bad value");
+    } else if (arg == "--seed") {
+      if (!parse_u64(value(), spec.seed)) return bad_flag(arg, "bad value");
+    } else if (arg == "--otis-frac") {
+      if (!parse_double(value(), spec.otis_fraction)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--pipeline-frac") {
+      if (!parse_double(value(), spec.pipeline_fraction)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--deadline-ms") {
+      if (!parse_double(value(), spec.deadline_ms)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--priorities") {
+      std::size_t levels = 0;
+      if (!parse_size(value(), levels) || levels == 0) {
+        return bad_flag(arg, "bad value");
+      }
+      spec.priority_levels = static_cast<int>(levels);
+    } else if (arg == "--capacity") {
+      if (!parse_size(value(), config.capacity)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--threads") {
+      if (!parse_size(value(), config.workers)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--batch") {
+      if (!parse_size(value(), config.max_batch)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--linger-ms") {
+      if (!parse_double(value(), config.batch_linger_ms)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--admit-wait-ms") {
+      if (!parse_double(value(), config.admission_timeout_ms)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--ingress-drop") {
+      if (!parse_double(value(), config.exec.ingress.drop_prob)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--ingress-corrupt") {
+      if (!parse_double(value(), config.exec.ingress.corrupt_prob)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--pace") {
+      pace = true;
+    } else if (arg == "--gen-only") {
+      gen_only = true;
+    } else if (arg == "--results-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      results_out = v;
+    } else if (arg == "--workload-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      workload_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      telem.metrics_out = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
+    } else {
+      return usage();
+    }
+  }
+  if (gen_only && workload_out.empty()) {
+    return bad_flag("--gen-only", "requires --workload-out");
+  }
+  if (gen_only && !replay_path.empty()) {
+    return bad_flag("--gen-only", "incompatible with --replay");
+  }
+
+  // Obtain the workload: replay a committed file or generate in-process.
+  std::vector<spacefts::serve::WorkloadItem> items;
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "serve: cannot read %s\n", replay_path.c_str());
+      return kExitFailure;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    items = spacefts::serve::parse_workload_jsonl(text.str());
+  } else {
+    items = spacefts::serve::generate_workload(spec);
+  }
+  if (!workload_out.empty()) {
+    std::ofstream out(workload_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write %s\n", workload_out.c_str());
+      return kExitFailure;
+    }
+    out << spacefts::serve::to_jsonl(items);
+    std::printf("wrote workload %s (%zu requests)\n", workload_out.c_str(),
+                items.size());
+  }
+  if (gen_only) return 0;
+
+  telem.arm();
+  spacefts::serve::Server server(config);
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& item : items) {
+    if (pace) {
+      // Open-loop arrival process: honour the workload's timestamps.
+      const auto due =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(item.arrival_s));
+      std::this_thread::sleep_until(due);
+    }
+    (void)server.submit(item.request);
+  }
+  server.wait_idle();
+  server.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto stats = server.stats();
+  auto results = server.take_results();
+  if (!results_out.empty()) {
+    std::ofstream out(results_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write %s\n", results_out.c_str());
+      return kExitFailure;
+    }
+    out << spacefts::serve::results_to_jsonl(std::move(results));
+    std::printf("wrote results %s\n", results_out.c_str());
+  }
+  std::printf(
+      "serve: %llu submitted in %.3fs (%.1f req/s offered)\n"
+      "  accepted %llu, completed %llu, shed %llu, lost %llu\n"
+      "  cancelled %llu, expired %llu, failed %llu, batches %llu\n"
+      "  ingress corrupted %llu, ingress duplicates %llu\n",
+      static_cast<unsigned long long>(stats.submitted), wall_s,
+      wall_s > 0.0 ? static_cast<double>(stats.submitted) / wall_s : 0.0,
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.shed),
+      static_cast<unsigned long long>(stats.lost),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.expired),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.ingress_corrupted),
+      static_cast<unsigned long long>(stats.ingress_duplicates));
+  // kFailed requests (e.g. ingress corruption the sanity layer could not
+  // repair) are deterministic served outcomes recorded in the results, not
+  // operational errors of the CLI run.
+  return telem.finish();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
+  if (command == "version" || command == "--version") {
+    std::printf("spacefts_cli %s\n", SPACEFTS_VERSION);
+    return 0;
+  }
+  if (command == "help" || command == "--help") return cmd_help(argc, argv);
   try {
     if (command == "gen") return cmd_gen(argc, argv);
     if (command == "corrupt") return cmd_corrupt(argc, argv);
@@ -611,6 +872,7 @@ int main(int argc, char** argv) {
     if (command == "psi") return cmd_psi(argc, argv);
     if (command == "pipeline") return cmd_pipeline(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
+    if (command == "serve") return cmd_serve(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitFailure;
