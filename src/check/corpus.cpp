@@ -1,0 +1,155 @@
+#include "spacefts/check/corpus.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "spacefts/telemetry/jsonl.hpp"
+
+namespace spacefts::check {
+namespace {
+
+using telemetry::jsonl::append_fmt;
+
+constexpr const char* kFamilyNames[kCaseFamilyCount] = {
+    "ngst_diff",      "otis_diff", "rice_roundtrip", "crc_frame",
+    "hamming",        "properties", "serve_workload",
+};
+
+/// Strict double parse of a whole token.
+bool parse_double_token(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+/// Extracts the raw token following `"key":` (up to ',' or '}').
+bool find_token(std::string_view line, std::string_view key,
+                std::string& out) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return false;
+  const auto start = pos + needle.size();
+  auto end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  out.assign(line.substr(start, end - start));
+  return !out.empty();
+}
+
+bool find_number(std::string_view line, std::string_view key, double& out) {
+  std::string token;
+  return find_token(line, key, token) && parse_double_token(token, out);
+}
+
+bool find_size(std::string_view line, std::string_view key, std::size_t& out) {
+  std::string token;
+  if (!find_token(line, key, token) || token.empty() || token[0] == '-') {
+    return false;
+  }
+  char* end = nullptr;
+  out = static_cast<std::size_t>(std::strtoull(token.c_str(), &end, 10));
+  return end == token.c_str() + token.size();
+}
+
+/// Full-precision unsigned parse (a 64-bit seed does not survive a double
+/// round-trip).
+bool find_u64(std::string_view line, std::string_view key,
+              std::uint64_t& out) {
+  std::string token;
+  if (!find_token(line, key, token) || token.empty() || token[0] == '-') {
+    return false;
+  }
+  char* end = nullptr;
+  out = std::strtoull(token.c_str(), &end, 10);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
+const char* to_string(CaseFamily family) noexcept {
+  return kFamilyNames[static_cast<std::size_t>(family)];
+}
+
+bool parse_family(std::string_view name, CaseFamily& out) {
+  for (std::size_t i = 0; i < kCaseFamilyCount; ++i) {
+    if (name == kFamilyNames[i]) {
+      out = static_cast<CaseFamily>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string to_json(const CaseSpec& spec) {
+  std::string out;
+  out.reserve(160);
+  out += "{\"family\":\"";
+  out += to_string(spec.family);
+  out += "\",\"seed\":" + std::to_string(spec.seed);
+  out += ",\"width\":" + std::to_string(spec.width);
+  out += ",\"height\":" + std::to_string(spec.height);
+  out += ",\"frames\":" + std::to_string(spec.frames);
+  append_fmt(out, ",\"lambda\":%.10g", spec.lambda);
+  out += ",\"upsilon\":" + std::to_string(spec.upsilon);
+  append_fmt(out, ",\"gamma\":%.10g", spec.gamma);
+  out += ",\"scene\":" + std::to_string(spec.scene);
+  out += "}";
+  return out;
+}
+
+std::string corpus_to_jsonl(const std::vector<CaseSpec>& specs) {
+  std::string out;
+  out.reserve(specs.size() * 176);
+  for (const CaseSpec& spec : specs) {
+    out += to_json(spec);
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<CaseSpec> parse_corpus_jsonl(std::string_view text) {
+  std::vector<CaseSpec> specs;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const auto nl = text.find('\n', pos);
+    const auto line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    const auto fail = [&](const char* what) {
+      throw std::runtime_error("check corpus line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    CaseSpec spec;
+    std::string family_token;
+    if (!find_token(line, "family", family_token) ||
+        family_token.size() < 3 || family_token.front() != '"' ||
+        family_token.back() != '"') {
+      fail("missing or malformed family");
+    }
+    if (!parse_family(
+            std::string_view(family_token).substr(1, family_token.size() - 2),
+            spec.family)) {
+      fail("unknown family");
+    }
+    if (!find_u64(line, "seed", spec.seed)) fail("missing seed");
+    if (!find_size(line, "width", spec.width)) fail("missing width");
+    if (!find_size(line, "height", spec.height)) fail("missing height");
+    if (!find_size(line, "frames", spec.frames)) fail("missing frames");
+    if (!find_number(line, "lambda", spec.lambda)) fail("missing lambda");
+    if (!find_size(line, "upsilon", spec.upsilon)) fail("missing upsilon");
+    if (!find_number(line, "gamma", spec.gamma)) fail("missing gamma");
+    if (!find_size(line, "scene", spec.scene)) fail("missing scene");
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace spacefts::check

@@ -1,0 +1,72 @@
+/// \file differential.hpp
+/// The differential fuzz driver: seeded case generation, oracle
+/// cross-checks, corpus replay, and shrinking.
+///
+/// A case (corpus.hpp) fully determines its inputs; run_case() regenerates
+/// them, executes the family's check, and — for the diff families — compares
+/// the optimized `src/core` output against the check oracle (oracle.hpp) at
+/// every requested thread count, bit for bit, data and report counters
+/// alike.  Each case also yields one deterministic report line whose
+/// content depends only on the spec and the oracle's answer, so replaying a
+/// corpus at `--threads 1` and `--threads 4` must produce byte-identical
+/// output (CI compares the two files).
+///
+/// Fuzzing walks an index: case i draws its parameters from
+/// derive_stream_seed(base_seed, i, family), round-robining the families,
+/// so any single failing index replays in isolation.  Failures are shrunk
+/// by halving geometry (corpus.hpp) before they are reported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spacefts/check/corpus.hpp"
+
+namespace spacefts::check {
+
+/// Knobs shared by fuzzing and replay.
+struct RunOptions {
+  /// Thread counts the diff families pit against the serial oracle.
+  std::vector<std::size_t> threads = {1, 4, 8};
+};
+
+/// Outcome of one case.
+struct CaseResult {
+  CaseSpec spec;
+  bool ok = true;
+  std::string detail;  ///< first divergence / property violation; empty if ok
+  /// Deterministic per-case report line ("ok <spec json> sig=<hex>" or
+  /// "FAIL <spec json>").  Depends only on the spec and the oracle output —
+  /// never on the thread count, wall clock, or host.
+  std::string line;
+};
+
+/// Aggregate of a fuzz run or a corpus replay.
+struct CheckReport {
+  std::size_t cases = 0;
+  std::vector<CaseResult> failures;  ///< failing cases, original geometry
+  std::vector<CaseSpec> shrunk;      ///< minimized spec per failure (fuzz only)
+  std::vector<std::string> lines;    ///< one deterministic line per case
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Derives fuzz case \p index from \p base_seed (stateless; any index can
+/// be regenerated without running its predecessors).
+[[nodiscard]] CaseSpec make_fuzz_case(std::uint64_t base_seed,
+                                      std::uint64_t index);
+
+/// Runs one fully specified case.  Deterministic; never throws — an
+/// exception escaping a check is itself reported as a failure.
+[[nodiscard]] CaseResult run_case(const CaseSpec& spec,
+                                  const RunOptions& options = {});
+
+/// Replays an explicit case list (e.g. a parsed corpus).  No shrinking.
+[[nodiscard]] CheckReport run_cases(const std::vector<CaseSpec>& specs,
+                                    const RunOptions& options = {});
+
+/// Fuzzes \p cases indices from \p base_seed and shrinks every failure.
+[[nodiscard]] CheckReport run_fuzz(std::uint64_t base_seed, std::size_t cases,
+                                   const RunOptions& options = {});
+
+}  // namespace spacefts::check

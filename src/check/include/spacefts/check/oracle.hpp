@@ -1,0 +1,59 @@
+/// \file oracle.hpp
+/// Naive scalar golden references for the voting algorithms.
+///
+/// Every function here re-derives the paper's semantics from scratch —
+/// straight-line loops, full sorts instead of nth_element, fresh vectors
+/// instead of scratch reuse — so the code audits directly against PAPER.md
+/// (Algorithm 1 and §7) rather than against the optimized implementation it
+/// checks.  The optimized `src/core` paths are specified to be bit-identical
+/// to these references for every thread count; the differential harness
+/// (differential.hpp) enforces that.
+///
+/// Oracle semantics mirrored deliberately:
+///  * voter thresholds: full ascending sort, element at the Λ-derived rank,
+///    rounded up to a power of two [R2];
+///  * window masks from the min/max per-way thresholds [R3];
+///  * per-pixel vote: unanimous AND everywhere, (n−1)-of-n GRT inside
+///    window A only (and only with ≥ 3 voters), window C masked off [R4];
+///  * the carry-propagation plausibility gate of §3.1;
+///  * report counters accumulate in row-major pixel order, the window masks
+///    keep the last processed series' value ("last pixel wins") — matching
+///    the serial sweep the threaded stack path reproduces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "spacefts/common/image.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+
+namespace spacefts::check {
+
+/// Golden Algo_NGST over one temporal series, in place.  Same contract as
+/// AlgoNgst::preprocess(span) — the threads knob of \p config is ignored
+/// (the oracle is serial by construction).
+[[nodiscard]] core::AlgoNgstReport oracle_ngst_series(
+    std::span<std::uint16_t> series, const core::AlgoNgstConfig& config);
+
+/// Golden Algo_NGST over a whole temporal stack, in place: every (x, y)
+/// series in row-major order, counters summed, masks last-pixel-wins.
+[[nodiscard]] core::AlgoNgstReport oracle_ngst_stack(
+    common::TemporalStack<std::uint16_t>& stack,
+    const core::AlgoNgstConfig& config);
+
+/// Golden Algo_OTIS over one band plane, in place.  Replicates the
+/// three-phase pass (classification, clean-pair thresholds, snapshot vote)
+/// with the exact arithmetic of the optimized path, expressed as plain
+/// serial loops.
+[[nodiscard]] core::AlgoOtisReport oracle_otis_plane(
+    common::Image<float>& plane, double wavelength_um,
+    const core::AlgoOtisConfig& config);
+
+/// Golden Algo_OTIS over a radiance cube, band by band (spatial locality).
+/// \throws std::invalid_argument if wavelengths_um.size() != cube.depth().
+[[nodiscard]] core::AlgoOtisReport oracle_otis_cube(
+    common::Cube<float>& cube, std::span<const double> wavelengths_um,
+    const core::AlgoOtisConfig& config);
+
+}  // namespace spacefts::check

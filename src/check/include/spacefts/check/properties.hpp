@@ -1,0 +1,101 @@
+/// \file properties.hpp
+/// Reusable round-trip and metamorphic properties.
+///
+/// Each function checks one contract the rest of the repo relies on and
+/// returns a PropertyResult: ok, or a failure with a human-readable detail
+/// naming the first violated instance.  The differential harness drives
+/// them from seeded fuzz cases; the unit tests drive them directly.
+///
+/// The properties:
+///  * rice: compress/decompress identity (escape blocks and block-boundary
+///    lengths included), writer reuse across finish(), and the
+///    corrupt-stream contract (decode either returns `count` samples or
+///    throws BitstreamError — never hangs, never reads out of bounds);
+///  * CRC-32: frame/deframe round-trip and single-bit-damage detection;
+///  * Hamming(72,64): encode → 1 flip → corrects to the original word;
+///    encode → 2 flips → detects without miscorrecting;
+///  * Λ-monotonicity: raising Λ never shrinks any way's surviving voter
+///    set (Λ₁ < Λ₂ ⇒ survivors(Λ₁) ⊆ survivors(Λ₂));
+///  * window-C invariance: preprocessing never touches bits below the
+///    window-C delimiter it reports;
+///  * correction idempotence at the fixed point: iterating preprocess
+///    converges within a few passes, after which preprocess∘preprocess =
+///    preprocess.  (Strict single-pass idempotence is deliberately NOT
+///    claimed: the thresholds are dynamic, so a pass that repairs faults
+///    tightens the next pass's thresholds and can unlock one more
+///    correction — fuzzing found exactly that on the first run.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spacefts/common/random.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+
+namespace spacefts::check {
+
+/// Outcome of one property check.
+struct PropertyResult {
+  bool ok = true;
+  std::string detail;  ///< empty when ok; first violation otherwise
+};
+
+/// Convenience constructor for a failure.
+[[nodiscard]] PropertyResult property_failed(std::string detail);
+
+// ---- rice -----------------------------------------------------------------
+
+/// Round-trip identity over a mix of compressible (random-walk), verbatim
+/// (full-entropy), and block-boundary-length payloads drawn from \p rng.
+[[nodiscard]] PropertyResult check_rice_roundtrip(common::Rng& rng);
+
+/// A single BitWriter reused across finish() must produce the same stream a
+/// fresh writer produces (regression for the stale-state reuse bug).
+[[nodiscard]] PropertyResult check_rice_writer_reuse(common::Rng& rng);
+
+/// Corrupt streams (bit flips, truncation, trailing garbage) must decode to
+/// exactly `count` samples or throw rice::BitstreamError.
+[[nodiscard]] PropertyResult check_rice_corrupt_contract(common::Rng& rng);
+
+// ---- edac -----------------------------------------------------------------
+
+/// CRC-32 frame round-trip plus detection of every single-bit flip in a
+/// sampled frame.
+[[nodiscard]] PropertyResult check_crc_frame(common::Rng& rng);
+
+/// Hamming(72,64) SEC-DED contract on sampled words: every single flip
+/// (data and parity) corrects cleanly; sampled double flips are detected
+/// without miscorrection.
+[[nodiscard]] PropertyResult check_hamming_contract(common::Rng& rng);
+
+// ---- voter metamorphics ---------------------------------------------------
+
+/// Λ-monotonicity of the voter matrix on \p series: for lambda_lo <
+/// lambda_hi, every way's threshold can only drop and every surviving voter
+/// survives again.
+[[nodiscard]] PropertyResult check_lambda_monotonicity(
+    std::span<const std::uint16_t> series, std::size_t upsilon,
+    double lambda_lo, double lambda_hi);
+
+/// Window-C invariance: preprocess a copy of \p series and verify no bit
+/// below the reported window-C delimiter changed.
+[[nodiscard]] PropertyResult check_window_c_invariance(
+    std::span<const std::uint16_t> series, const core::AlgoNgstConfig& config);
+
+/// Correction idempotence at the fixed point: iterating preprocess on
+/// \p series converges within a bounded number of passes; at the fixed
+/// point a further pass changes nothing.
+[[nodiscard]] PropertyResult check_ngst_idempotence(
+    std::span<const std::uint16_t> series, const core::AlgoNgstConfig& config);
+
+// ---- serve ----------------------------------------------------------------
+
+/// Workload JSONL round-trip: generate → serialise → parse → serialise is a
+/// fixed point, and regeneration from the same spec is bit-identical.
+[[nodiscard]] PropertyResult check_serve_workload_roundtrip(common::Rng& rng);
+
+/// Server determinism: the same workload served with different batch sizes
+/// (manual step mode) yields byte-identical deterministic result JSONL.
+[[nodiscard]] PropertyResult check_serve_determinism(common::Rng& rng);
+
+}  // namespace spacefts::check

@@ -1,0 +1,397 @@
+#include "spacefts/check/properties.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "spacefts/core/voter_matrix.hpp"
+#include "spacefts/edac/crc32.hpp"
+#include "spacefts/edac/hamming.hpp"
+#include "spacefts/rice/bitstream.hpp"
+#include "spacefts/rice/rice.hpp"
+#include "spacefts/serve/server.hpp"
+#include "spacefts/serve/workload.hpp"
+
+namespace spacefts::check {
+
+namespace {
+
+/// printf-style detail builder for failure messages.
+template <typename... Args>
+[[nodiscard]] std::string format_detail(const char* fmt, Args... args) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer), fmt, args...);
+  return std::string(buffer);
+}
+
+/// The payload shapes the rice properties sample: lengths straddling the
+/// 32-sample block boundary plus a couple of larger irregular ones.
+constexpr std::size_t kRiceLengths[] = {0, 1, 31, 32, 33, 63, 64, 65, 97, 256};
+
+/// Draws one 16-bit payload of the given kind: 0 = random walk
+/// (compressible), 1 = full entropy (escape blocks), 2 = constant,
+/// 3 = alternating extremes (worst-case deltas).
+[[nodiscard]] std::vector<std::uint16_t> draw_payload(common::Rng& rng,
+                                                      std::size_t length,
+                                                      std::size_t kind) {
+  std::vector<std::uint16_t> out(length);
+  std::uint16_t walk = 27000;
+  for (std::size_t i = 0; i < length; ++i) {
+    switch (kind % 4) {
+      case 0:
+        walk = static_cast<std::uint16_t>(
+            walk + static_cast<std::uint16_t>(rng.below(41)) - 20);
+        out[i] = walk;
+        break;
+      case 1:
+        out[i] = static_cast<std::uint16_t>(rng());
+        break;
+      case 2:
+        out[i] = 512;
+        break;
+      default:
+        out[i] = (i % 2 == 0) ? 0 : 0xFFFF;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PropertyResult property_failed(std::string detail) {
+  return PropertyResult{false, std::move(detail)};
+}
+
+// ---- rice -------------------------------------------------------------------
+
+PropertyResult check_rice_roundtrip(common::Rng& rng) {
+  for (std::size_t kind = 0; kind < 4; ++kind) {
+    for (const std::size_t length : kRiceLengths) {
+      const auto payload = draw_payload(rng, length, kind);
+      const auto stream = rice::compress16(payload);
+      const auto decoded = rice::decompress16(stream, payload.size());
+      if (decoded != payload) {
+        return property_failed(format_detail(
+            "rice round-trip mismatch: kind=%zu length=%zu", kind, length));
+      }
+    }
+  }
+  // One irregular length drawn fresh each call.
+  const std::size_t length = 1 + rng.below(400);
+  const auto payload = draw_payload(rng, length, rng.below(4));
+  if (rice::decompress16(rice::compress16(payload), payload.size()) !=
+      payload) {
+    return property_failed(
+        format_detail("rice round-trip mismatch: random length=%zu", length));
+  }
+  return {};
+}
+
+PropertyResult check_rice_writer_reuse(common::Rng& rng) {
+  // Record a random op sequence, then play it into a reused writer and into
+  // fresh writers; the streams must agree and the reused writer must reset.
+  struct Op {
+    std::uint64_t value;
+    unsigned count;  ///< 0 marks a unary op
+  };
+  for (int round = 0; round < 4; ++round) {
+    const auto draw_ops = [&rng] {
+      std::vector<Op> ops(12 + rng.below(20));
+      for (Op& op : ops) {
+        op = rng.bernoulli(0.3)
+                 ? Op{rng.below(24), 0}
+                 : Op{rng(), 1 + static_cast<unsigned>(rng.below(32))};
+      }
+      return ops;
+    };
+    const std::vector<Op> first_ops = draw_ops();
+    const std::vector<Op> second_ops = draw_ops();
+    const auto play = [](rice::BitWriter& w, const std::vector<Op>& ops) {
+      for (const Op& op : ops) {
+        if (op.count == 0) {
+          w.write_unary(op.value);
+        } else {
+          w.write_bits(op.value, op.count);
+        }
+      }
+    };
+    rice::BitWriter reused;
+    play(reused, first_ops);
+    const auto first = reused.finish();
+    if (reused.bit_count() != 0) {
+      return property_failed("BitWriter::finish left bit_count non-zero");
+    }
+    play(reused, second_ops);
+    const auto second = reused.finish();
+
+    rice::BitWriter fresh_a, fresh_b;
+    play(fresh_a, first_ops);
+    play(fresh_b, second_ops);
+    if (first != fresh_a.finish() || second != fresh_b.finish()) {
+      return property_failed(
+          format_detail("reused BitWriter diverged from fresh (round %d)",
+                        round));
+    }
+  }
+  return {};
+}
+
+PropertyResult check_rice_corrupt_contract(common::Rng& rng) {
+  const auto payload = draw_payload(rng, 48 + rng.below(80), rng.below(4));
+  const auto pristine = rice::compress16(payload);
+
+  const auto decode_is_contained = [&](std::span<const std::uint8_t> stream,
+                                       const char* what) -> PropertyResult {
+    try {
+      const auto decoded = rice::decompress16(stream, payload.size());
+      if (decoded.size() != payload.size()) {
+        return property_failed(format_detail(
+            "corrupt rice stream (%s) returned %zu of %zu samples", what,
+            decoded.size(), payload.size()));
+      }
+    } catch (const rice::BitstreamError&) {
+      // The documented failure mode.
+    }
+    return {};
+  };
+
+  // Random single-bit damage.
+  for (int trial = 0; trial < 16 && !pristine.empty(); ++trial) {
+    auto damaged = pristine;
+    const auto bit = rng.below(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (auto r = decode_is_contained(damaged, "bit flip"); !r.ok) return r;
+  }
+  // Truncation at a random byte (covers truncated escape blocks whenever
+  // the payload drew full-entropy data).
+  if (!pristine.empty()) {
+    auto truncated = pristine;
+    truncated.resize(rng.below(truncated.size()));
+    if (auto r = decode_is_contained(truncated, "truncation"); !r.ok) return r;
+  }
+  // Trailing garbage must not disturb the decoded prefix: the stream is
+  // self-delimiting given the sample count.
+  {
+    auto padded = pristine;
+    for (int i = 0; i < 16; ++i) {
+      padded.push_back(static_cast<std::uint8_t>(rng()));
+    }
+    const auto decoded = rice::decompress16(padded, payload.size());
+    if (decoded != payload) {
+      return property_failed("trailing garbage changed the decoded samples");
+    }
+  }
+  // An oversized unary quotient must hit the run bound, not demand a
+  // gigabit-scale read: k = 0 header followed by ~160k one-bits.
+  {
+    std::vector<std::uint8_t> hostile(20500, 0xFF);
+    hostile[0] = 0x07;  // 00000 (k = 0) then ones
+    try {
+      (void)rice::decompress16(hostile, 1);
+      return property_failed("oversized unary quotient was not rejected");
+    } catch (const rice::BitstreamError&) {
+    }
+  }
+  return {};
+}
+
+// ---- edac -------------------------------------------------------------------
+
+PropertyResult check_crc_frame(common::Rng& rng) {
+  std::vector<std::uint8_t> payload(1 + rng.below(64));
+  for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng());
+  auto frame = payload;
+  edac::frame_append_crc(frame);
+  if (!edac::frame_verify(frame)) {
+    return property_failed("freshly framed payload failed verification");
+  }
+  const auto recovered = edac::frame_payload(frame);
+  if (recovered.size() != payload.size() ||
+      !std::equal(recovered.begin(), recovered.end(), payload.begin())) {
+    return property_failed("frame_payload did not return the framed bytes");
+  }
+  for (int trial = 0; trial < 8; ++trial) {
+    auto damaged = frame;
+    const auto bit = rng.below(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    if (edac::frame_verify(damaged)) {
+      return property_failed(
+          format_detail("single-bit frame damage at bit %llu went undetected",
+                        static_cast<unsigned long long>(bit)));
+    }
+  }
+  return {};
+}
+
+PropertyResult check_hamming_contract(common::Rng& rng) {
+  const std::uint64_t data = rng();
+  const std::uint8_t parity = edac::encode_parity(data);
+  // Every single flip across the 72-bit code word corrects cleanly.
+  for (int bit = 0; bit < 72; ++bit) {
+    const std::uint64_t d =
+        bit < 64 ? data ^ (std::uint64_t{1} << bit) : data;
+    const auto p = static_cast<std::uint8_t>(
+        bit < 64 ? parity : parity ^ (1u << (bit - 64)));
+    const auto result = edac::decode(d, p);
+    if (result.status != edac::DecodeStatus::kCorrected ||
+        result.data != data) {
+      return property_failed(
+          format_detail("single flip at bit %d not corrected", bit));
+    }
+  }
+  // Sampled double flips must be detected without miscorrection.
+  for (int trial = 0; trial < 48; ++trial) {
+    const int b1 = static_cast<int>(rng.below(72));
+    int b2 = static_cast<int>(rng.below(72));
+    if (b2 == b1) b2 = (b2 + 1) % 72;
+    std::uint64_t d = data;
+    std::uint8_t p = parity;
+    for (const int bit : {b1, b2}) {
+      if (bit < 64) {
+        d ^= std::uint64_t{1} << bit;
+      } else {
+        p = static_cast<std::uint8_t>(p ^ (1u << (bit - 64)));
+      }
+    }
+    if (edac::decode(d, p).status != edac::DecodeStatus::kUncorrectable) {
+      return property_failed(
+          format_detail("double flip (%d, %d) not flagged uncorrectable", b1,
+                        b2));
+    }
+  }
+  return {};
+}
+
+// ---- voter metamorphics -----------------------------------------------------
+
+PropertyResult check_lambda_monotonicity(std::span<const std::uint16_t> series,
+                                         std::size_t upsilon, double lambda_lo,
+                                         double lambda_hi) {
+  const auto lo =
+      core::build_voter_matrix<std::uint16_t>(series, upsilon, lambda_lo);
+  const auto hi =
+      core::build_voter_matrix<std::uint16_t>(series, upsilon, lambda_hi);
+  if (lo.ways.size() != hi.ways.size()) {
+    return property_failed("way count changed with lambda alone");
+  }
+  for (std::size_t w = 0; w < lo.ways.size(); ++w) {
+    if (hi.ways[w].v_val > lo.ways[w].v_val) {
+      return property_failed(format_detail(
+          "way %zu: threshold rose with lambda (%u -> %u)", w,
+          unsigned{lo.ways[w].v_val}, unsigned{hi.ways[w].v_val}));
+    }
+    for (std::size_t i = 0; i < lo.ways[w].xors.size(); ++i) {
+      const bool survives_lo = lo.voter(w, i) != 0;
+      const bool survives_hi = hi.voter(w, i) != 0;
+      if (survives_lo && !survives_hi) {
+        return property_failed(format_detail(
+            "way %zu pair %zu survived lambda=%g but not lambda=%g", w, i,
+            lambda_lo, lambda_hi));
+      }
+    }
+  }
+  return {};
+}
+
+PropertyResult check_window_c_invariance(
+    std::span<const std::uint16_t> series,
+    const core::AlgoNgstConfig& config) {
+  std::vector<std::uint16_t> corrected(series.begin(), series.end());
+  const core::AlgoNgst algo(config);
+  const auto report = algo.preprocess(corrected);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto diff = static_cast<std::uint16_t>(series[i] ^ corrected[i]);
+    if (report.lsb_mask == 0 ? diff != 0
+                             : (diff & static_cast<std::uint16_t>(
+                                           ~report.lsb_mask)) != 0) {
+      return property_failed(format_detail(
+          "pixel %zu changed below the window-C delimiter (diff=%04x "
+          "lsb_mask=%04x)",
+          i, unsigned{diff}, unsigned{report.lsb_mask}));
+    }
+  }
+  return {};
+}
+
+PropertyResult check_ngst_idempotence(std::span<const std::uint16_t> series,
+                                      const core::AlgoNgstConfig& config) {
+  // Strict preprocess∘preprocess = preprocess does NOT hold for Algo_NGST:
+  // the thresholds are *dynamic* (re-derived from the data), so repairing
+  // faults tightens the next pass's thresholds, which can unlock a further
+  // correction.  The true invariant is convergence: iterating the operator
+  // reaches a fixed point within a few passes, and at the fixed point
+  // preprocess really is idempotent (same input ⇒ same thresholds ⇒ same
+  // decisions ⇒ same output).
+  constexpr int kMaxPasses = 8;
+  std::vector<std::uint16_t> current(series.begin(), series.end());
+  const core::AlgoNgst algo(config);
+  (void)algo.preprocess(current);
+  for (int pass = 2; pass <= kMaxPasses; ++pass) {
+    std::vector<std::uint16_t> next = current;
+    (void)algo.preprocess(next);
+    if (next == current) return {};
+    current = std::move(next);
+  }
+  return property_failed(
+      format_detail("no fixed point within %d passes", kMaxPasses));
+}
+
+// ---- serve ------------------------------------------------------------------
+
+PropertyResult check_serve_workload_roundtrip(common::Rng& rng) {
+  serve::WorkloadSpec spec;
+  spec.requests = 8 + rng.below(25);
+  spec.rate_hz = rng.uniform(50.0, 500.0);
+  spec.seed = rng();
+  spec.otis_fraction = rng.uniform();
+  spec.priority_levels = 1 + static_cast<int>(rng.below(4));
+  spec.deadline_ms = rng.bernoulli(0.5) ? 0.0 : rng.uniform(1.0, 50.0);
+
+  const auto items = serve::generate_workload(spec);
+  const std::string once = serve::to_jsonl(items);
+  const std::string again = serve::to_jsonl(serve::parse_workload_jsonl(once));
+  if (once != again) {
+    return property_failed("workload JSONL is not a serialise/parse fixed point");
+  }
+  if (serve::to_jsonl(serve::generate_workload(spec)) != once) {
+    return property_failed("workload regeneration from the same spec diverged");
+  }
+  return {};
+}
+
+PropertyResult check_serve_determinism(common::Rng& rng) {
+  serve::WorkloadSpec spec;
+  spec.requests = 6;
+  spec.seed = rng();
+  spec.ngst_side = 12;
+  spec.ngst_frames = 8;
+  spec.otis_side = 8;
+  spec.otis_bands = 4;
+  spec.otis_fraction = 0.3;
+  const auto items = serve::generate_workload(spec);
+
+  std::string previous;
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{4}}) {
+    serve::ServerConfig config;
+    config.workers = 0;  // manual step mode: deterministic batch formation
+    config.capacity = 64;
+    config.max_batch = max_batch;
+    config.batch_linger_ms = 0.0;
+    serve::Server server(config);
+    for (const auto& item : items) (void)server.submit(item.request);
+    while (server.step() > 0) {
+    }
+    server.drain();
+    const std::string results = serve::results_to_jsonl(server.take_results());
+    if (!previous.empty() && results != previous) {
+      return property_failed(format_detail(
+          "serve results changed between batch sizes 1 and %zu", max_batch));
+    }
+    previous = results;
+  }
+  return {};
+}
+
+}  // namespace spacefts::check

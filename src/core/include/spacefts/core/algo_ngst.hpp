@@ -48,7 +48,8 @@ struct AlgoNgstConfig {
   /// Worker lanes for the stack-level preprocessing path; 1 = serial,
   /// 0 = one lane per hardware thread.  The output is bit-identical for
   /// every value (the row partition and per-pixel work are independent of
-  /// the lane count).
+  /// the lane count); the differential harness (src/check) enforces this
+  /// against a naive scalar oracle.
   std::size_t threads = 1;
 };
 

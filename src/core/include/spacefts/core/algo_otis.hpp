@@ -56,6 +56,8 @@ struct AlgoOtisConfig {
   /// lane per hardware thread.  Output is bit-identical for every value:
   /// the voting phase reads from an immutable snapshot of the plane
   /// (Jacobi-style update), so no pixel's repair depends on sweep order.
+  /// The differential harness (src/check) enforces this against a naive
+  /// scalar oracle.
   std::size_t threads = 1;
 };
 

@@ -21,7 +21,12 @@ void BitWriter::write_unary(std::uint64_t count) {
 }
 
 std::vector<std::uint8_t> BitWriter::finish() {
-  return std::move(bytes_);
+  std::vector<std::uint8_t> out = std::move(bytes_);
+  // Reset so a reused writer starts a fresh stream instead of indexing
+  // bit_count_/8 bits into the now-empty buffer.
+  bytes_.clear();
+  bit_count_ = 0;
+  return out;
 }
 
 bool BitReader::read_bit() {
@@ -39,9 +44,13 @@ std::uint64_t BitReader::read_bits(unsigned count) {
   return out;
 }
 
-std::uint64_t BitReader::read_unary() {
+std::uint64_t BitReader::read_unary(std::uint64_t max_run) {
   std::uint64_t count = 0;
-  while (read_bit()) ++count;
+  while (read_bit()) {
+    if (++count > max_run) {
+      throw BitstreamError("BitReader: unary run exceeds bound");
+    }
+  }
   return count;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -26,7 +27,8 @@ class BitWriter {
   /// Writes \p count consecutive one-bits followed by a zero (unary code).
   void write_unary(std::uint64_t count);
 
-  /// Pads to a byte boundary with zeros and returns the buffer.
+  /// Pads to a byte boundary with zeros and returns the buffer.  The writer
+  /// is reset to its initial state, so it can be reused for another stream.
   [[nodiscard]] std::vector<std::uint8_t> finish();
 
   /// Bits written so far (before padding).
@@ -47,8 +49,12 @@ class BitReader {
   [[nodiscard]] std::uint64_t read_bits(unsigned count);
 
   /// Reads a unary code: the number of one-bits before the next zero.
-  /// \throws BitstreamError past the end.
-  [[nodiscard]] std::uint64_t read_unary();
+  /// \param max_run upper bound on the run length a well-formed stream can
+  ///        contain at this position; a longer run is corruption and throws
+  ///        instead of consuming the rest of the stream bit by bit.
+  /// \throws BitstreamError past the end or when the run exceeds \p max_run.
+  [[nodiscard]] std::uint64_t read_unary(
+      std::uint64_t max_run = std::numeric_limits<std::uint64_t>::max());
 
   /// Bits consumed so far.
   [[nodiscard]] std::size_t position() const noexcept { return pos_; }

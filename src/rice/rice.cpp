@@ -12,6 +12,13 @@ namespace {
 constexpr unsigned kEscape = 31;
 constexpr unsigned kMaxK = 16;
 
+/// Largest zigzag-mapped residual a legal stream can carry: deltas span
+/// [-65535, 65535], so the map tops out at zigzag(65535) = 131070.  Bounds
+/// the unary quotient during decode — a corrupt run cannot demand
+/// gigabit-scale reads, and (quotient << k) can never overflow the 32-bit
+/// mapped value silently.
+constexpr std::uint64_t kMaxMapped = 131070;
+
 /// Zigzag map: 0, -1, 1, -2, 2, … -> 0, 1, 2, 3, 4, …
 [[nodiscard]] std::uint32_t zigzag(std::int32_t v) noexcept {
   return (static_cast<std::uint32_t>(v) << 1) ^
@@ -98,7 +105,7 @@ std::vector<std::uint16_t> decompress16(std::span<const std::uint8_t> stream,
     }
     if (k > kMaxK) throw BitstreamError("decompress16: invalid k");
     for (std::size_t j = 0; j < block_len; ++j) {
-      const std::uint64_t quotient = reader.read_unary();
+      const std::uint64_t quotient = reader.read_unary(kMaxMapped >> k);
       const std::uint64_t remainder = k ? reader.read_bits(k) : 0;
       const auto mapped = static_cast<std::uint32_t>((quotient << k) | remainder);
       const std::int32_t delta = unzigzag(mapped);

@@ -12,7 +12,10 @@
 /// `spacefts_cli serve --replay` interchange format: one request per line,
 /// stable field order, %.10g doubles.  results_to_jsonl renders only the
 /// *deterministic* result fields (status, checksum, correction counters),
-/// sorted by id — the file CI byte-compares across thread counts.
+/// sorted by id — the file CI byte-compares across thread counts.  The
+/// check harness fuzzes both contracts: serialise∘parse must be a fixed
+/// point, and the same workload served at different batch sizes must
+/// yield byte-identical results (check::check_serve_*).
 #pragma once
 
 #include <cstdint>

@@ -214,6 +214,54 @@ TEST(Crc32, DetectsRandomMultiBitDamage) {
   }
 }
 
+TEST(Hamming, ExhaustiveSingleFlipsAcrossTheCodeword) {
+  // Every one of the 72 codeword bits (64 data + 8 parity), flipped alone,
+  // must correct back to the original word — for several word patterns.
+  Rng rng(71);
+  const std::uint64_t words[] = {0u, ~std::uint64_t{0}, rng(), rng(), rng()};
+  for (const std::uint64_t data : words) {
+    const auto parity = se::encode_parity(data);
+    for (int bit = 0; bit < 72; ++bit) {
+      const std::uint64_t d =
+          bit < 64 ? data ^ (std::uint64_t{1} << bit) : data;
+      const auto p = static_cast<std::uint8_t>(
+          bit < 64 ? parity : parity ^ (1u << (bit - 64)));
+      const auto result = se::decode(d, p);
+      ASSERT_EQ(result.status, se::DecodeStatus::kCorrected) << "bit " << bit;
+      ASSERT_EQ(result.data, data) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Hamming, ExhaustiveDoubleFlipsDetectWithoutMiscorrecting) {
+  // SEC-DED's whole point: all C(72,2) = 2556 two-bit flips across the
+  // codeword must be flagged uncorrectable — a miscorrection (kCorrected
+  // with wrong data, or kClean) would silently corrupt the pixel store.
+  Rng rng(72);
+  const std::uint64_t words[] = {0u, ~std::uint64_t{0}, rng()};
+  for (const std::uint64_t data : words) {
+    const auto parity = se::encode_parity(data);
+    std::size_t pairs = 0;
+    for (int b1 = 0; b1 < 72; ++b1) {
+      for (int b2 = b1 + 1; b2 < 72; ++b2) {
+        std::uint64_t d = data;
+        std::uint8_t p = parity;
+        for (const int bit : {b1, b2}) {
+          if (bit < 64) {
+            d ^= std::uint64_t{1} << bit;
+          } else {
+            p = static_cast<std::uint8_t>(p ^ (1u << (bit - 64)));
+          }
+        }
+        ASSERT_EQ(se::decode(d, p).status, se::DecodeStatus::kUncorrectable)
+            << "bits " << b1 << "," << b2;
+        ++pairs;
+      }
+    }
+    EXPECT_EQ(pairs, 2556u);
+  }
+}
+
 TEST(Crc32, RejectsTruncatedFrames) {
   // Anything shorter than the 4-byte trailer cannot be a valid frame.
   for (std::size_t size = 0; size < 4; ++size) {

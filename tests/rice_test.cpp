@@ -166,3 +166,106 @@ TEST(Rice, DecompressFewerThanEncodedIsFine) {
   const auto first32 = sr::decompress16(compressed, 32);
   EXPECT_EQ(first32, std::vector<std::uint16_t>(32, 1234));
 }
+
+// ------------------------------------------------------------ writer reuse
+
+TEST(Bitstream, WriterIsReusableAfterFinish) {
+  // Regression: finish() used to move bytes_ out but leave bit_count_
+  // stale, so a reused writer indexed bits into an empty buffer.
+  sr::BitWriter w;
+  w.write_bits(0xBEEF, 16);
+  w.write_unary(9);
+  const auto first = w.finish();
+  EXPECT_EQ(w.bit_count(), 0u);
+
+  w.write_bits(0x5A, 8);
+  w.write_unary(3);
+  const auto second = w.finish();
+
+  sr::BitWriter fresh;
+  fresh.write_bits(0x5A, 8);
+  fresh.write_unary(3);
+  EXPECT_EQ(second, fresh.finish());
+
+  sr::BitReader r(first);
+  EXPECT_EQ(r.read_bits(16), 0xBEEFu);
+  EXPECT_EQ(r.read_unary(), 9u);
+}
+
+TEST(Bitstream, ReadUnaryHonoursTheRunBound) {
+  sr::BitWriter w;
+  w.write_unary(10);
+  const auto bytes = w.finish();
+  {
+    sr::BitReader r(bytes);
+    EXPECT_EQ(r.read_unary(10), 10u);
+  }
+  {
+    sr::BitReader r(bytes);
+    EXPECT_THROW((void)r.read_unary(9), sr::BitstreamError);
+  }
+}
+
+// --------------------------------------------------------- corrupt streams
+
+TEST(Rice, TruncatedEscapeBlockThrows) {
+  // Full-entropy data forces escape (verbatim) blocks; cutting one short
+  // must surface as BitstreamError, not as silent zero samples.
+  Rng rng(101);
+  std::vector<std::uint16_t> data(64);
+  for (auto& v : data) v = static_cast<std::uint16_t>(rng());
+  auto compressed = sr::compress16(data);
+  // Plain branch (not ASSERT_GT) so GCC's range analysis can prove the
+  // subtraction below never wraps; -Werror=stringop-overflow fires otherwise.
+  if (compressed.size() <= 8) FAIL() << "compressed stream unexpectedly small";
+  compressed.resize(compressed.size() - 8);
+  EXPECT_THROW((void)sr::decompress16(compressed, data.size()),
+               sr::BitstreamError);
+}
+
+TEST(Rice, OversizedUnaryQuotientIsRejected) {
+  // k = 0 header followed by ~164k one-bits encodes a quotient far beyond
+  // the largest mapped residual (131070); the bounded unary read must
+  // throw instead of grinding through the whole run and truncating the
+  // value on the uint32 cast.
+  std::vector<std::uint8_t> hostile(20500, 0xFF);
+  hostile[0] = 0x07;  // 00000 (k = 0), then all ones
+  EXPECT_THROW((void)sr::decompress16(hostile, 1), sr::BitstreamError);
+}
+
+TEST(Rice, TrailingGarbageDoesNotDisturbTheDecode) {
+  Rng rng(102);
+  std::vector<std::uint16_t> data(96);
+  std::uint16_t walk = 27000;
+  for (auto& v : data) {
+    walk = static_cast<std::uint16_t>(walk +
+                                      static_cast<std::uint16_t>(rng.below(31)) -
+                                      15);
+    v = walk;
+  }
+  auto compressed = sr::compress16(data);
+  for (int i = 0; i < 32; ++i) {
+    compressed.push_back(static_cast<std::uint8_t>(rng()));
+  }
+  EXPECT_EQ(sr::decompress16(compressed, data.size()), data);
+}
+
+TEST(Rice, RandomBitFlipsEitherDecodeOrThrow) {
+  // The corrupt-stream contract: any damage yields either `count` samples
+  // or BitstreamError — never a hang, never another exception type.
+  Rng rng(103);
+  std::vector<std::uint16_t> data(128);
+  for (auto& v : data) v = static_cast<std::uint16_t>(27000 + rng.below(64));
+  const auto pristine = sr::compress16(data);
+  for (int trial = 0; trial < 64; ++trial) {
+    auto damaged = pristine;
+    const auto bit = rng.below(damaged.size() * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    try {
+      const auto decoded = sr::decompress16(damaged, data.size());
+      EXPECT_EQ(decoded.size(), data.size());
+    } catch (const sr::BitstreamError&) {
+      // The documented failure mode.
+    }
+  }
+}

@@ -37,6 +37,13 @@
 ///       Poisson workload in-process; write the deterministic per-request
 ///       results with --results-out, the workload with --workload-out
 ///       (--gen-only stops after generating)
+///   spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]
+///                      [--corpus-out file] [--replay file]
+///       differential/metamorphic correctness harness: fuzz N seeded cases
+///       cross-checking the optimized preprocessing paths against the naive
+///       golden oracles at every requested thread count, or --replay a
+///       committed failure corpus; failing cases are shrunk and written to
+///       --corpus-out; exits 1 on any divergence
 ///   spacefts_cli version | --version
 ///       print the tool version
 ///   spacefts_cli help [verb]
@@ -60,6 +67,8 @@
 #include <vector>
 
 #include "spacefts/campaign/campaign.hpp"
+#include "spacefts/check/corpus.hpp"
+#include "spacefts/check/differential.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/dist/pipeline.hpp"
@@ -119,6 +128,9 @@ constexpr VerbHelp kVerbHelp[] = {
      " [--ingress-corrupt X]\n"
      "                [--results-out file] [--workload-out file]"
      " [--gen-only]\n"},
+    {"check",
+     "  spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]\n"
+     "                [--corpus-out file] [--replay file]\n"},
     {"version", "  spacefts_cli version | --version\n"},
     {"help", "  spacefts_cli help [verb]\n"},
 };
@@ -854,6 +866,97 @@ int cmd_serve(int argc, char** argv) {
   return telem.finish();
 }
 
+int cmd_check(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::size_t cases = 50;
+  std::string corpus_out, replay_path;
+  spacefts::check::RunOptions options;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      if (!parse_u64(value(), seed)) return bad_flag(arg, "bad value");
+    } else if (arg == "--cases") {
+      if (!parse_size(value(), cases) || cases == 0) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing value");
+      options.threads.clear();
+      std::stringstream stream(v);
+      std::string item;
+      while (std::getline(stream, item, ',')) {
+        std::size_t count = 0;
+        if (!parse_size(item.c_str(), count) || count == 0) {
+          return bad_flag(arg, "bad thread list");
+        }
+        options.threads.push_back(count);
+      }
+      if (options.threads.empty()) return bad_flag(arg, "empty thread list");
+    } else if (arg == "--corpus-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      corpus_out = v;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      replay_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
+    } else {
+      return usage();
+    }
+  }
+
+  spacefts::check::CheckReport report;
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) {
+      std::fprintf(stderr, "check: cannot read %s\n", replay_path.c_str());
+      return kExitFailure;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    report = spacefts::check::run_cases(
+        spacefts::check::parse_corpus_jsonl(text.str()), options);
+  } else {
+    report = spacefts::check::run_fuzz(seed, cases, options);
+  }
+
+  // Stdout is the deterministic replay record: it depends only on the case
+  // specs and the oracle answers, so CI byte-compares it across --threads
+  // values.  Failure diagnostics go to stderr.
+  for (const auto& line : report.lines) std::printf("%s\n", line.c_str());
+  std::printf("check: %zu cases, %zu failures\n", report.cases,
+              report.failures.size());
+  for (const auto& failure : report.failures) {
+    std::fprintf(stderr, "check failure: %s\n  %s\n",
+                 spacefts::check::to_json(failure.spec).c_str(),
+                 failure.detail.c_str());
+  }
+  if (!corpus_out.empty() && !report.failures.empty()) {
+    std::vector<spacefts::check::CaseSpec> specs = report.shrunk;
+    if (specs.empty()) {
+      for (const auto& failure : report.failures) {
+        specs.push_back(failure.spec);
+      }
+    }
+    std::ofstream out(corpus_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "check: cannot write %s\n", corpus_out.c_str());
+      return kExitFailure;
+    }
+    out << spacefts::check::corpus_to_jsonl(specs);
+    std::fprintf(stderr, "check: wrote %zu failing case(s) to %s\n",
+                 specs.size(), corpus_out.c_str());
+  }
+  return report.ok() ? 0 : kExitFailure;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -873,6 +976,7 @@ int main(int argc, char** argv) {
     if (command == "pipeline") return cmd_pipeline(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
+    if (command == "check") return cmd_check(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitFailure;
