@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <ctime>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "spacefts/common/random.hpp"
@@ -99,13 +102,64 @@ inline std::vector<double> measure_psi(
   return psi;
 }
 
-/// Appends one JSON-lines record of stack-preprocessing throughput to
-/// \p path (default: BENCH_preprocess.json in the working directory), so
-/// successive bench runs accumulate a machine-readable history:
+/// The short commit hash the bench binary was built from, stamped into
+/// every trajectory record (injected by CMake; "unknown" outside git).
+#ifndef SPACEFTS_GIT_SHA
+#define SPACEFTS_GIT_SHA "unknown"
+#endif
+
+namespace detail {
+
+/// Extracts the raw token following `"key": ` in a JSON-lines record —
+/// just enough parsing to build a dedupe key; not a JSON parser.  Returns
+/// "" when the key is absent (legacy records predating a field).
+inline std::string json_field(std::string_view line, std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return "";
+  std::size_t begin = pos + needle.size();
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    end = line.find('"', begin + 1);
+    return end == std::string_view::npos
+               ? ""
+               : std::string(line.substr(begin + 1, end - begin - 1));
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return std::string(line.substr(begin, end - begin));
+}
+
+/// The run-configuration identity of one stack_preprocess record.  Records
+/// written before the kernel field existed measured the scalar path, so a
+/// missing kernel reads as "scalar" and legacy duplicates collapse into
+/// the matching modern row.
+inline std::string preprocess_record_key(std::string_view line) {
+  std::string kernel = json_field(line, "kernel");
+  if (kernel.empty()) kernel = "scalar";
+  return json_field(line, "bench") + "|" + json_field(line, "threads") + "|" +
+         json_field(line, "upsilon") + "|" + json_field(line, "lambda") + "|" +
+         kernel;
+}
+
+}  // namespace detail
+
+/// Records one stack-preprocessing throughput measurement in \p path
+/// (default: BENCH_preprocess.json in the working directory):
 ///   {"bench": "stack_preprocess", "pixels_per_s": …, "threads": …,
-///    "upsilon": …, "lambda": …}
+///    "upsilon": …, "lambda": …, "kernel": "…", "git_sha": "…",
+///    "iso_timestamp": "…"}
+/// The file holds exactly one line per run configuration — (bench,
+/// threads, upsilon, lambda, kernel) — so re-running a bench replaces its
+/// row instead of accumulating duplicates.  The rewrite also collapses any
+/// duplicate rows already present.
 inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
                                      std::size_t upsilon, double lambda,
+                                     const char* kernel,
                                      const char* path = "BENCH_preprocess.json") {
   namespace jsonl = spacefts::telemetry::jsonl;
   std::string line = "{\"bench\": \"stack_preprocess\", \"pixels_per_s\": ";
@@ -114,8 +168,43 @@ inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
   line += ", \"upsilon\": " + std::to_string(upsilon);
   line += ", \"lambda\": ";
   jsonl::append_fmt(line, "%g", lambda);
-  line += "}\n";
-  (void)jsonl::append_file(path, line);
+  line += ", \"kernel\": \"" + jsonl::escape(kernel) + "\"";
+  line += ", \"git_sha\": \"" + jsonl::escape(SPACEFTS_GIT_SHA) + "\"";
+  std::tm tm{};
+  const std::time_t now = std::time(nullptr);
+  gmtime_r(&now, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  line += ", \"iso_timestamp\": \"";
+  line += stamp;
+  line += "\"}\n";
+
+  // Rewrite keeping the newest record per configuration: existing rows in
+  // order, minus any whose key matches a later row or the new record.
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string row;
+    while (std::getline(in, row))
+      if (!row.empty()) lines.push_back(row);
+  }
+  const std::string new_key = detail::preprocess_record_key(line);
+  std::string text;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string key = detail::preprocess_record_key(lines[i]);
+    if (key == new_key) continue;
+    bool superseded = false;
+    for (std::size_t j = i + 1; j < lines.size() && !superseded; ++j)
+      superseded = detail::preprocess_record_key(lines[j]) == key;
+    if (!superseded) text += lines[i] + "\n";
+  }
+  text += line;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot rewrite %s\n", path);
+    return;
+  }
+  out << text;
 }
 
 /// Appends pre-rendered JSON-lines text to \p path, the shared accumulation

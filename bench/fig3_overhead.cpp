@@ -9,9 +9,11 @@
 /// are flat, Λ-independent lines.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/fault/models.hpp"
 #include "spacefts/smoothing/temporal.hpp"
@@ -41,14 +43,16 @@ void BM_AlgoNgstAtLambda(benchmark::State& state) {
   state.SetLabel("lambda=" + std::to_string(state.range(0)));
 }
 
-/// Not a paper series: the production stack path at several worker-lane
-/// counts, so one run of this harness also shows how the Λ-dependent
-/// overhead amortises across cores.  Output is bit-identical to the serial
-/// sweep at every lane count.
-void BM_AlgoNgstStackThreaded(benchmark::State& state) {
+/// Not a paper series: the production stack path swept over worker-lane
+/// count x voter kernel, so one run of this harness also shows how the
+/// Λ-dependent overhead amortises across cores and SIMD width.  Output is
+/// bit-identical in every cell of the grid (see tests/kernel_test).
+void BM_AlgoNgstStackThreaded(benchmark::State& state,
+                              spacefts::core::Kernel kernel) {
   spacefts::core::AlgoNgstConfig config;
   config.lambda = 80.0;
   config.threads = static_cast<std::size_t>(state.range(0));
+  config.kernel = kernel;
   const spacefts::core::AlgoNgst algo(config);
   spacefts::datagen::NgstSimulator sim(0xF164);
   spacefts::datagen::SceneParams scene;
@@ -65,7 +69,22 @@ void BM_AlgoNgstStackThreaded(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
                           64);
-  state.SetLabel("threads=" + std::to_string(state.range(0)));
+  state.SetLabel("threads=" + std::to_string(state.range(0)) + ",kernel=" +
+                 spacefts::core::kernel_name(kernel));
+}
+
+/// Registers the lane x kernel grid at runtime so only kernels the host
+/// can execute appear in the report.
+void register_stack_threaded_sweep() {
+  for (const auto kernel : spacefts::core::available_kernels()) {
+    const std::string name = std::string("BM_AlgoNgstStackThreaded/") +
+                             spacefts::core::kernel_name(kernel);
+    benchmark::RegisterBenchmark(name.c_str(), BM_AlgoNgstStackThreaded,
+                                 kernel)
+        ->Arg(1)
+        ->Arg(4)
+        ->Arg(8);
+  }
 }
 
 void BM_MedianSmoothing(benchmark::State& state) {
@@ -89,8 +108,14 @@ void BM_BitVoting(benchmark::State& state) {
 }  // namespace
 
 BENCHMARK(BM_AlgoNgstAtLambda)->Arg(0)->Arg(20)->Arg(40)->Arg(60)->Arg(80)->Arg(100);
-BENCHMARK(BM_AlgoNgstStackThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 BENCHMARK(BM_MedianSmoothing);
 BENCHMARK(BM_BitVoting);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_stack_threaded_sweep();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

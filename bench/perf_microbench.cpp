@@ -8,12 +8,13 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/core/algo_otis.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/datagen/otis_scenes.hpp"
 #include "spacefts/edac/protected_memory.hpp"
@@ -62,14 +63,18 @@ spacefts::common::TemporalStack<std::uint16_t> corrupted_stack(
   return stack;
 }
 
-/// The production stack path (tile-blocked gather + per-lane scratch) at
-/// 1/2/4/8 worker lanes.  Items = coordinates (time series), so the rate is
-/// directly comparable across thread counts; output is bit-identical for
-/// all of them.
-void BM_AlgoNgstStackPreprocess(benchmark::State& state) {
+/// The production stack path (tile-blocked SoA gather + per-lane scratch)
+/// swept over worker-lane count x voter kernel.  Items = coordinates (time
+/// series), so the rate is directly comparable across the whole grid;
+/// output is bit-identical for every cell (enforced by tests/kernel_test
+/// and src/check).  Registered dynamically from main() so only kernels the
+/// host can actually run appear in the report.
+void BM_AlgoNgstStackPreprocess(benchmark::State& state,
+                                spacefts::core::Kernel kernel) {
   spacefts::core::AlgoNgstConfig config;
   config.lambda = 50.0;
   config.threads = static_cast<std::size_t>(state.range(0));
+  config.kernel = kernel;
   const spacefts::core::AlgoNgst algo(config);
   const auto base = corrupted_stack(128, 8);
   for (auto _ : state) {
@@ -79,12 +84,26 @@ void BM_AlgoNgstStackPreprocess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128 *
                           128);
 }
-BENCHMARK(BM_AlgoNgstStackPreprocess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
-void BM_AlgoOtisPlane(benchmark::State& state) {
+void register_stack_kernel_sweep() {
+  for (const auto kernel : spacefts::core::available_kernels()) {
+    const std::string name = std::string("BM_AlgoNgstStackPreprocess/") +
+                             spacefts::core::kernel_name(kernel);
+    benchmark::RegisterBenchmark(name.c_str(), BM_AlgoNgstStackPreprocess,
+                                 kernel)
+        ->Arg(1)
+        ->Arg(4)
+        ->Arg(8);
+  }
+}
+
+void BM_AlgoOtisPlane(benchmark::State& state,
+                      spacefts::core::Kernel kernel) {
   spacefts::datagen::OtisSceneGenerator gen(0xBEEF3);
   const auto scene = gen.generate(spacefts::datagen::OtisSceneKind::kBlob);
-  const spacefts::core::AlgoOtis algo;
+  spacefts::core::AlgoOtisConfig config;
+  config.kernel = kernel;
+  const spacefts::core::AlgoOtis algo(config);
   auto plane = scene.radiance.plane_image(0);
   for (auto _ : state) {
     auto working = plane;
@@ -94,7 +113,14 @@ void BM_AlgoOtisPlane(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(plane.size()));
 }
-BENCHMARK(BM_AlgoOtisPlane);
+
+void register_otis_kernel_sweep() {
+  for (const auto kernel : spacefts::core::available_kernels()) {
+    const std::string name = std::string("BM_AlgoOtisPlane/") +
+                             spacefts::core::kernel_name(kernel);
+    benchmark::RegisterBenchmark(name.c_str(), BM_AlgoOtisPlane, kernel);
+  }
+}
 
 void BM_CrRejectIntegrate(benchmark::State& state) {
   spacefts::common::Rng rng(0xBEEF4);
@@ -227,11 +253,14 @@ void BM_MedianBaseline(benchmark::State& state) {
 BENCHMARK(BM_MedianBaseline);
 
 /// Times one full 256x256x8 stack preprocess (best of 5) at the given lane
-/// count and appends the result to BENCH_preprocess.json.
-void record_stack_throughput(std::size_t threads) {
+/// count / kernel and records the result in BENCH_preprocess.json (one row
+/// per configuration; reruns replace their row).
+void record_stack_throughput(std::size_t threads,
+                             spacefts::core::Kernel kernel) {
   spacefts::core::AlgoNgstConfig config;
   config.lambda = 50.0;
   config.threads = threads;
+  config.kernel = kernel;
   const spacefts::core::AlgoNgst algo(config);
   const auto base = corrupted_stack(256, 8);
   double best = 1e100;
@@ -243,20 +272,22 @@ void record_stack_throughput(std::size_t threads) {
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   bench::append_preprocess_record(256.0 * 256.0 / best, threads,
-                                  config.upsilon, config.lambda);
+                                  config.upsilon, config.lambda,
+                                  spacefts::core::kernel_name(kernel));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_stack_kernel_sweep();
+  register_otis_kernel_sweep();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  const std::size_t hw =
-      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-  record_stack_throughput(1);
-  if (hw != 1) record_stack_throughput(2);
-  if (hw > 2) record_stack_throughput(hw);
+  // Trajectory records: every available kernel at 1/4/8 worker lanes.
+  for (const auto kernel : spacefts::core::available_kernels())
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{8}})
+      record_stack_throughput(threads, kernel);
   return 0;
 }

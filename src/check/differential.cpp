@@ -118,29 +118,34 @@ void run_ngst_diff(const CaseSpec& spec, const RunOptions& options,
   hash.fold(golden.cube().voxels());
   fold_report(hash, golden_report);
 
-  for (const std::size_t threads : options.threads) {
-    config.threads = threads;
-    auto work = stack;
-    const auto report = core::AlgoNgst(config).preprocess(work);
-    if (work != golden) {
-      const auto a = work.cube().voxels();
-      const auto b = golden.cube().voxels();
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i] != b[i]) {
-          result.ok = false;
-          result.detail =
-              fmt("ngst threads=%zu: voxel %zu is %04x, oracle says %04x",
-                  threads, i, unsigned{a[i]}, unsigned{b[i]});
-          return;
+  for (const core::Kernel kernel : options.kernels) {
+    config.kernel = kernel;
+    const char* kname = core::kernel_name(kernel);
+    for (const std::size_t threads : options.threads) {
+      config.threads = threads;
+      auto work = stack;
+      const auto report = core::AlgoNgst(config).preprocess(work);
+      if (work != golden) {
+        const auto a = work.cube().voxels();
+        const auto b = golden.cube().voxels();
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          if (a[i] != b[i]) {
+            result.ok = false;
+            result.detail = fmt(
+                "ngst kernel=%s threads=%zu: voxel %zu is %04x, oracle says "
+                "%04x",
+                kname, threads, i, unsigned{a[i]}, unsigned{b[i]});
+            return;
+          }
         }
       }
-    }
-    if (const auto field = diff_reports(report, golden_report);
-        !field.empty()) {
-      result.ok = false;
-      result.detail = fmt("ngst threads=%zu: report field %s diverged",
-                          threads, field.c_str());
-      return;
+      if (const auto field = diff_reports(report, golden_report);
+          !field.empty()) {
+        result.ok = false;
+        result.detail = fmt("ngst kernel=%s threads=%zu: report field %s diverged",
+                            kname, threads, field.c_str());
+        return;
+      }
     }
   }
 }
@@ -175,31 +180,36 @@ void run_otis_diff(const CaseSpec& spec, const RunOptions& options,
   hash.fold_bits(golden.voxels());
   fold_report(hash, golden_report);
 
-  for (const std::size_t threads : options.threads) {
-    config.threads = threads;
-    auto work = cube;
-    const auto report =
-        core::AlgoOtis(config).preprocess(work, scene.wavelengths_um);
-    const auto a = work.voxels();
-    const auto b = golden.voxels();
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      // Bit-pattern comparison: float == would treat two NaNs as different.
-      if (std::bit_cast<std::uint32_t>(a[i]) !=
-          std::bit_cast<std::uint32_t>(b[i])) {
+  for (const core::Kernel kernel : options.kernels) {
+    config.kernel = kernel;
+    const char* kname = core::kernel_name(kernel);
+    for (const std::size_t threads : options.threads) {
+      config.threads = threads;
+      auto work = cube;
+      const auto report =
+          core::AlgoOtis(config).preprocess(work, scene.wavelengths_um);
+      const auto a = work.voxels();
+      const auto b = golden.voxels();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        // Bit-pattern comparison: float == would treat two NaNs as different.
+        if (std::bit_cast<std::uint32_t>(a[i]) !=
+            std::bit_cast<std::uint32_t>(b[i])) {
+          result.ok = false;
+          result.detail = fmt(
+              "otis kernel=%s threads=%zu: voxel %zu is %08x, oracle says "
+              "%08x",
+              kname, threads, i, std::bit_cast<std::uint32_t>(a[i]),
+              std::bit_cast<std::uint32_t>(b[i]));
+          return;
+        }
+      }
+      if (const auto field = diff_reports(report, golden_report);
+          !field.empty()) {
         result.ok = false;
-        result.detail =
-            fmt("otis threads=%zu: voxel %zu is %08x, oracle says %08x",
-                threads, i, std::bit_cast<std::uint32_t>(a[i]),
-                std::bit_cast<std::uint32_t>(b[i]));
+        result.detail = fmt("otis kernel=%s threads=%zu: report field %s diverged",
+                            kname, threads, field.c_str());
         return;
       }
-    }
-    if (const auto field = diff_reports(report, golden_report);
-        !field.empty()) {
-      result.ok = false;
-      result.detail = fmt("otis threads=%zu: report field %s diverged",
-                          threads, field.c_str());
-      return;
     }
   }
 }
@@ -234,6 +244,22 @@ void run_metamorphic(const CaseSpec& spec, CaseResult& result) {
   apply(check_window_c_invariance(series, config), "window_c_invariance",
         result);
   apply(check_ngst_idempotence(series, config), "ngst_idempotence", result);
+
+  // Kernel-choice invariance on a small stack drawn from the same seed:
+  // whichever SIMD kernel runs, the result must match the scalar reference
+  // bit for bit (width 17 leaves an odd tile remainder on every kernel).
+  datagen::SceneParams scene;
+  scene.width = 17;
+  scene.height = 6;
+  scene.stars = 4;
+  auto stack = sim.stack(std::max<std::size_t>(spec.frames, 4), scene);
+  if (spec.gamma > 0.0) {
+    auto rng = fault_rng(spec);
+    const auto mask = fault::UncorrelatedFaultModel(spec.gamma)
+                          .mask16(stack.cube().size(), rng);
+    fault::apply_mask<std::uint16_t>(stack.cube().voxels(), mask);
+  }
+  apply(check_kernel_invariance(stack, config), "kernel_invariance", result);
 }
 
 }  // namespace

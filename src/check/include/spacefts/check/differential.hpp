@@ -5,11 +5,12 @@
 /// A case (corpus.hpp) fully determines its inputs; run_case() regenerates
 /// them, executes the family's check, and — for the diff families — compares
 /// the optimized `src/core` output against the check oracle (oracle.hpp) at
-/// every requested thread count, bit for bit, data and report counters
-/// alike.  Each case also yields one deterministic report line whose
-/// content depends only on the spec and the oracle's answer, so replaying a
-/// corpus at `--threads 1` and `--threads 4` must produce byte-identical
-/// output (CI compares the two files).
+/// every requested (kernel, thread count) pair, bit for bit, data and
+/// report counters alike.  Each case also yields one deterministic report
+/// line whose content depends only on the spec and the oracle's answer, so
+/// replaying a corpus at `--threads 1` and `--threads 4`, or with
+/// `--kernel` forced to any variant, must produce byte-identical output
+/// (CI compares the files).
 ///
 /// Fuzzing walks an index: case i draws its parameters from
 /// derive_stream_seed(base_seed, i, family), round-robining the families,
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "spacefts/check/corpus.hpp"
+#include "spacefts/core/kernel.hpp"
 
 namespace spacefts::check {
 
@@ -29,6 +31,10 @@ namespace spacefts::check {
 struct RunOptions {
   /// Thread counts the diff families pit against the serial oracle.
   std::vector<std::size_t> threads = {1, 4, 8};
+  /// Voter kernels crossed with every thread count.  Defaults to every
+  /// kernel the host can execute; narrow it (e.g. from `--kernel`) to
+  /// focus a replay on one variant.
+  std::vector<core::Kernel> kernels = core::available_kernels();
 };
 
 /// Outcome of one case.

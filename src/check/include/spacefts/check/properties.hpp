@@ -88,6 +88,15 @@ struct PropertyResult {
 [[nodiscard]] PropertyResult check_ngst_idempotence(
     std::span<const std::uint16_t> series, const core::AlgoNgstConfig& config);
 
+/// Kernel-choice invariance: preprocessing \p stack with every voter
+/// kernel the host can execute (scalar reference, SWAR, AVX2 where
+/// compiled in) yields bit-identical data and identical report counters.
+/// The kernel field of \p config is ignored; the scalar run is the
+/// reference.
+[[nodiscard]] PropertyResult check_kernel_invariance(
+    const common::TemporalStack<std::uint16_t>& stack,
+    const core::AlgoNgstConfig& config);
+
 // ---- serve ----------------------------------------------------------------
 
 /// Workload JSONL round-trip: generate → serialise → parse → serialise is a

@@ -338,6 +338,48 @@ PropertyResult check_ngst_idempotence(std::span<const std::uint16_t> series,
       format_detail("no fixed point within %d passes", kMaxPasses));
 }
 
+PropertyResult check_kernel_invariance(
+    const common::TemporalStack<std::uint16_t>& stack,
+    const core::AlgoNgstConfig& config) {
+  core::AlgoNgstConfig cfg = config;
+  cfg.kernel = core::Kernel::kScalar;
+  auto golden = stack;
+  const auto golden_report = core::AlgoNgst(cfg).preprocess(golden);
+  for (const core::Kernel kernel : core::available_kernels()) {
+    if (kernel == core::Kernel::kScalar) continue;
+    cfg.kernel = kernel;
+    auto work = stack;
+    const auto report = core::AlgoNgst(cfg).preprocess(work);
+    if (work != golden) {
+      const auto a = work.cube().voxels();
+      const auto b = golden.cube().voxels();
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) {
+          return property_failed(format_detail(
+              "kernel %s diverged from scalar at voxel %zu (%04x vs %04x)",
+              core::kernel_name(kernel), i, unsigned{a[i]}, unsigned{b[i]}));
+        }
+      }
+    }
+    const bool reports_match = report.lsb_mask == golden_report.lsb_mask &&
+                               report.msb_mask == golden_report.msb_mask &&
+                               report.pixels_examined ==
+                                   golden_report.pixels_examined &&
+                               report.pixels_corrected ==
+                                   golden_report.pixels_corrected &&
+                               report.bits_corrected ==
+                                   golden_report.bits_corrected &&
+                               report.pixels_vetoed ==
+                                   golden_report.pixels_vetoed;
+    if (!reports_match) {
+      return property_failed(format_detail(
+          "kernel %s produced a different report than scalar",
+          core::kernel_name(kernel)));
+    }
+  }
+  return {};
+}
+
 // ---- serve ------------------------------------------------------------------
 
 PropertyResult check_serve_workload_roundtrip(common::Rng& rng) {

@@ -1,0 +1,52 @@
+/// \file aligned.hpp
+/// Minimal over-aligned allocator for the SIMD structure-of-arrays scratch
+/// buffers.  std::vector's default allocator only guarantees
+/// alignof(std::max_align_t) (16 on x86-64); the vector kernels load and
+/// store 32-byte groups of lanes, and keeping those on their natural
+/// boundary avoids cache-line splits in the hot loop.  The kernels
+/// themselves use unaligned load/store instructions, so the alignment is a
+/// performance property, never a correctness requirement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace spacefts::common {
+
+/// C++17 aligned-new allocator; alignment must be a power of two.
+template <typename T, std::size_t Alignment = 32>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's own requirement");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// A std::vector whose data() is 32-byte aligned (one AVX2 register row).
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace spacefts::common

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
+#include "kernel_detail.hpp"
 #include "spacefts/common/bitops.hpp"
 #include "spacefts/common/parallel.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
@@ -187,6 +190,24 @@ AlgoNgstReport AlgoNgst::preprocess(
 
   SPACEFTS_TSPAN("ngst.preprocess_stack", {"lambda", config_.lambda},
                  {"frames", static_cast<double>(frames)});
+  // Kernel dispatch: the scalar reference keeps its series-major tile path;
+  // the vector kernels get frame-major SoA tiles padded to whole lane
+  // groups (pad series are all-zero and can never produce a correction).
+  const Kernel kern = resolve_kernel(config_.kernel);
+  using TileFn = AlgoNgstReport (*)(const detail::NgstTileCtx&);
+  TileFn tile_fn = nullptr;
+  switch (kern) {
+    case Kernel::kSwar:
+      tile_fn = detail::ngst_tile_swar;
+      break;
+#if defined(SPACEFTS_HAVE_AVX2)
+    case Kernel::kAvx2:
+      tile_fn = detail::ngst_tile_avx2;
+      break;
+#endif
+    default:
+      break;
+  }
   const std::size_t lanes = common::parallel::resolve_threads(config_.threads);
   std::vector<NgstScratch> scratch(std::max<std::size_t>(lanes, 1));
   // One report per row, reduced in row order below: the partition, the
@@ -206,6 +227,31 @@ AlgoNgstReport AlgoNgst::preprocess(
             const std::size_t tw = std::min(kTileWidth, width - x0);
             SPACEFTS_TSPAN("ngst.tile", {"lambda", config_.lambda},
                            {"width", static_cast<double>(tw)});
+            if (tile_fn != nullptr) {
+              // Frame-major SoA gather: each frame's tile row is one
+              // contiguous memcpy (both sides contiguous), padded with
+              // zero series to a whole number of the widest lane group.
+              const std::size_t twp = (tw + 15) / 16 * 16;
+              s.soa.resize(twp * frames);
+              for (std::size_t t = 0; t < frames; ++t) {
+                const std::uint16_t* src = data + t * plane + y * width + x0;
+                std::uint16_t* dst = s.soa.data() + t * twp;
+                std::memcpy(dst, src, tw * sizeof(std::uint16_t));
+                std::fill(dst + tw, dst + twp, std::uint16_t{0});
+              }
+              {
+                SPACEFTS_TSPAN("voter.vote",
+                               {"series", static_cast<double>(tw)});
+                const detail::NgstTileCtx ctx{tw, twp, frames, &config_, &s};
+                accumulate(row, tile_fn(ctx));
+              }
+              for (std::size_t t = 0; t < frames; ++t) {
+                std::uint16_t* dst = data + t * plane + y * width + x0;
+                std::memcpy(dst, s.soa.data() + t * twp,
+                            tw * sizeof(std::uint16_t));
+              }
+              continue;
+            }
             s.tile.resize(tw * frames);
             // Gather: transpose the tile into coordinate-major scratch.
             // Each frame contributes one contiguous row segment, so the
@@ -239,6 +285,10 @@ AlgoNgstReport AlgoNgst::preprocess(
         }
       });
   for (const AlgoNgstReport& row : row_reports) accumulate(total, row);
+  telemetry::counter(kern == Kernel::kScalar  ? "ngst.kernel.scalar"
+                     : kern == Kernel::kSwar ? "ngst.kernel.swar"
+                                             : "ngst.kernel.avx2")
+      .add(1);
   telemetry::counter("ngst.pixels_corrected").add(total.pixels_corrected);
   telemetry::counter("ngst.bits_corrected").add(total.bits_corrected);
   telemetry::counter("voter.gate_vetoed").add(total.pixels_vetoed);

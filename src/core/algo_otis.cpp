@@ -7,9 +7,11 @@
 #include <stdexcept>
 #include <vector>
 
+#include "kernel_detail.hpp"
 #include "spacefts/common/bitops.hpp"
 #include "spacefts/common/parallel.hpp"
 #include "spacefts/common/stats.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
@@ -29,12 +31,9 @@ namespace {
 
 namespace par = spacefts::common::parallel;
 
-/// Pixel classification for one plane pass.
-enum class PixelState : std::uint8_t {
-  kClean = 0,      ///< conforming; acts as a voter
-  kProtected,      ///< natural trend (hypothesis 1); never touched
-  kCandidate,      ///< fault candidate; to be repaired
-};
+/// Pixel classification for one plane pass; shared with the vector kernels
+/// (kernel_detail.hpp), which derive clean-lane masks from the raw bytes.
+using PixelState = spacefts::core::detail::OtisPixelState;
 
 /// Median of the finite 3x3 neighbourhood (excluding nothing); NaN if none.
 [[nodiscard]] float local_median(const common::Image<float>& img,
@@ -226,6 +225,34 @@ AlgoOtisReport AlgoOtis::preprocess_plane(common::Image<float>& plane,
   for (std::size_t l = 0; l < lanes; ++l) {
     report.outliers += lane_outliers[l];
     report.trend_protected += lane_protected[l];
+  }
+
+  // ---- Kernel dispatch ------------------------------------------------------
+  // The vector kernels replace phases 2 + 3 (thresholds + vote) with a
+  // bit-identical lane-parallel implementation; kScalar keeps the reference
+  // code below.
+  const Kernel kern = resolve_kernel(config_.kernel);
+  telemetry::counter(kern == Kernel::kScalar  ? "otis.kernel.scalar"
+                     : kern == Kernel::kSwar ? "otis.kernel.swar"
+                                             : "otis.kernel.avx2")
+      .add(1);
+  if (kern != Kernel::kScalar) {
+    const detail::OtisPhase23Ctx ctx{&plane,  &state,    &medians, &interval,
+                                     tau,     &config_,  lanes};
+#if defined(SPACEFTS_HAVE_AVX2)
+    if (kern == Kernel::kAvx2) {
+      detail::otis_phase23_avx2(ctx, report);
+    } else {
+      detail::otis_phase23_swar(ctx, report);
+    }
+#else
+    detail::otis_phase23_swar(ctx, report);
+#endif
+    telemetry::counter("otis.bit_corrected").add(report.bit_corrected);
+    telemetry::counter("otis.median_replaced").add(report.median_replaced);
+    telemetry::counter("otis.trend_protected").add(report.trend_protected);
+    telemetry::counter("otis.out_of_bounds").add(report.out_of_bounds);
+    return report;
   }
 
   // ---- Phase 2: dynamic bit-level thresholds from clean pairs ---------------

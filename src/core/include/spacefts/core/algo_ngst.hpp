@@ -26,7 +26,9 @@
 #include <span>
 #include <vector>
 
+#include "spacefts/common/aligned.hpp"
 #include "spacefts/common/image.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 
 namespace spacefts::core {
@@ -51,6 +53,12 @@ struct AlgoNgstConfig {
   /// the lane count); the differential harness (src/check) enforces this
   /// against a naive scalar oracle.
   std::size_t threads = 1;
+  /// Compute kernel for the stack hot path (kernel.hpp): kAuto resolves to
+  /// the widest kernel this host supports; kScalar forces the per-series
+  /// reference implementation.  Every kernel produces bit-identical output
+  /// at every thread count.  The per-series entry points always run the
+  /// scalar reference.
+  Kernel kernel = Kernel::kAuto;
 };
 
 /// Reusable workspace for the allocation-free preprocessing path.  Buffers
@@ -63,6 +71,14 @@ struct NgstScratch {
   std::vector<std::uint16_t> voters;     ///< surviving voters of one pixel
   std::vector<std::uint16_t> partners;   ///< plausibility-gate neighbours
   std::vector<std::uint16_t> tile;       ///< coordinate-major gather buffer
+  /// Structure-of-arrays buffers for the vector kernels (kSwar/kAvx2):
+  /// frame-major tiles padded to a whole number of lane groups, 32-byte
+  /// aligned so lane-group loads never split a cache line.
+  common::AlignedVector<std::uint16_t> soa;       ///< frame-major tile
+  common::AlignedVector<std::uint16_t> corr;      ///< per-readout corrections
+  common::AlignedVector<std::uint16_t> vplus1;    ///< per-way per-lane V_val+1
+  common::AlignedVector<std::uint16_t> lane_lsb;  ///< per-lane window-C mask
+  common::AlignedVector<std::uint16_t> lane_msb;  ///< per-lane window-A mask
 };
 
 /// Diagnostics from one sequence (or one stack) pass.

@@ -27,6 +27,7 @@
 #include <span>
 
 #include "spacefts/common/image.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/otis/bounds.hpp"
 
 namespace spacefts::core {
@@ -59,6 +60,11 @@ struct AlgoOtisConfig {
   /// The differential harness (src/check) enforces this against a naive
   /// scalar oracle.
   std::size_t threads = 1;
+  /// Compute kernel for the plane voting pass (kernel.hpp): kAuto resolves
+  /// to the widest kernel this host supports; kScalar forces the reference
+  /// implementation.  Output is bit-identical for every choice.  The
+  /// spectral (per-pixel wavelength-axis) pass always runs the reference.
+  Kernel kernel = Kernel::kAuto;
 };
 
 /// Diagnostics from one cube pass.

@@ -1,0 +1,64 @@
+/// \file kernel.hpp
+/// The compute-kernel dispatch seam for the voter hot paths.
+///
+/// The XOR/threshold/vote/mask stages of Algo_NGST and the Algo_OTIS
+/// spatial voting pass are pure bitwise arithmetic over 16- and 32-bit
+/// words, so they admit data-parallel implementations of graded width:
+///
+///   kScalar  the original per-series reference implementation — the code
+///            the golden oracles were written against, kept verbatim;
+///   kSwar    portable SIMD-within-a-register over std::uint64_t (4 x u16
+///            or 2 x u32 lanes per word), no ISA requirements;
+///   kAvx2    256-bit AVX2 intrinsics (16 x u16 or 8 x u32 lanes), only
+///            compiled when SPACEFTS_SIMD=ON and only selected when the
+///            host CPU reports AVX2.
+///
+/// Every kernel is specified to produce *bit-identical* output to kScalar —
+/// data, report counters, and window masks alike, at every thread count.
+/// The differential harness (src/check) enforces the contract by
+/// cross-comparing all available kernels against the naive golden oracle;
+/// tests/kernel_test.cpp byte-compares them directly.
+///
+/// Selection: configs default to kAuto, which resolves at runtime (CPUID)
+/// to the widest available kernel.  `--kernel` on the CLI and the
+/// `kernel` fields of AlgoNgstConfig/AlgoOtisConfig force a variant.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace spacefts::core {
+
+/// A voter-kernel variant.  Numeric values are stable (telemetry tags).
+enum class Kernel : std::uint8_t {
+  kAuto = 0,    ///< resolve to the widest available kernel at runtime
+  kScalar = 1,  ///< per-series reference implementation
+  kSwar = 2,    ///< portable 64-bit SIMD-within-a-register
+  kAvx2 = 3,    ///< AVX2 intrinsics (requires CPU + build support)
+};
+
+/// Stable lowercase name ("auto", "scalar", "swar", "avx2").  The returned
+/// pointer is a string literal (safe to hand to the telemetry registry).
+[[nodiscard]] const char* kernel_name(Kernel kernel) noexcept;
+
+/// Parses a --kernel value; returns false on an unknown name.
+[[nodiscard]] bool parse_kernel(std::string_view text, Kernel& out) noexcept;
+
+/// True when \p kernel can execute on this host with this build:
+/// kScalar/kSwar always; kAvx2 only when compiled in (SPACEFTS_SIMD=ON)
+/// *and* the CPU reports AVX2.  kAuto is always available (it resolves).
+[[nodiscard]] bool kernel_available(Kernel kernel) noexcept;
+
+/// Maps a requested kernel to the one that will actually run: kAuto picks
+/// the widest available variant; an explicit unavailable request falls
+/// back to kSwar (the widest portable kernel) so a config serialized on an
+/// AVX2 host still runs everywhere.  Never returns kAuto.
+[[nodiscard]] Kernel resolve_kernel(Kernel requested) noexcept;
+
+/// Every concrete kernel available on this host, widest last
+/// ({kScalar, kSwar[, kAvx2]}).  The cross-kernel differential harness and
+/// the bench sweeps iterate this.
+[[nodiscard]] std::vector<Kernel> available_kernels();
+
+}  // namespace spacefts::core

@@ -1,0 +1,81 @@
+/// \file kernel_avx2.cpp
+/// AVX2 kernel: 16 x u16 or 8 x u32 lanes per 256-bit register.  Compiled
+/// with -mavx2 and only when SPACEFTS_SIMD is on; resolve_kernel() selects
+/// it only after CPUID confirms the host supports it.  All loads/stores are
+/// unaligned-form — alignment of the SoA scratch is a performance nicety,
+/// never a requirement.
+#if defined(SPACEFTS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "kernel_engine.hpp"
+
+namespace spacefts::core::detail {
+namespace {
+
+struct Avx2Ops {
+  using V = __m256i;
+  static constexpr std::size_t kLanes16 = 16;
+  static constexpr std::size_t kLanes32 = 8;
+
+  static V load(const std::uint16_t* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static V load(const std::uint32_t* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static V load(const float* p) noexcept {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint16_t* p, V v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static void store(std::uint32_t* p, V v) noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+
+  static V zero() noexcept { return _mm256_setzero_si256(); }
+  static V ones() noexcept { return _mm256_set1_epi32(-1); }
+  static V vand(V a, V b) noexcept { return _mm256_and_si256(a, b); }
+  static V vor(V a, V b) noexcept { return _mm256_or_si256(a, b); }
+  static V vxor(V a, V b) noexcept { return _mm256_xor_si256(a, b); }
+  static V vnot(V a) noexcept { return _mm256_xor_si256(a, ones()); }
+  static V bcast32(std::uint32_t v) noexcept {
+    return _mm256_set1_epi32(static_cast<int>(v));
+  }
+  static V add32(V a, V b) noexcept { return _mm256_add_epi32(a, b); }
+
+  /// Per-u16-lane unsigned x >= y: max(x, y) == x.
+  static V geu16(V x, V y) noexcept {
+    return _mm256_cmpeq_epi16(_mm256_max_epu16(x, y), x);
+  }
+  /// Per-u32-lane unsigned x >= y.
+  static V geu32(V x, V y) noexcept {
+    return _mm256_cmpeq_epi32(_mm256_max_epu32(x, y), x);
+  }
+
+  /// Clean-state mask from eight raw state bytes
+  /// (OtisPixelState::kClean == 0): widen to u32 lanes, compare to zero.
+  static V clean_mask32(const std::uint8_t* p) noexcept {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return _mm256_cmpeq_epi32(_mm256_cvtepu8_epi32(bytes),
+                              _mm256_setzero_si256());
+  }
+};
+
+}  // namespace
+
+AlgoNgstReport ngst_tile_avx2(const NgstTileCtx& ctx) {
+  return ngst_tile_engine<Avx2Ops>(ctx);
+}
+
+void otis_phase23_avx2(const OtisPhase23Ctx& ctx, AlgoOtisReport& report) {
+  otis_phase23_engine<Avx2Ops>(ctx, report);
+}
+
+}  // namespace spacefts::core::detail
+
+#endif  // SPACEFTS_HAVE_AVX2

@@ -1,0 +1,74 @@
+/// \file kernel_detail.hpp
+/// Internal interface between the algorithm drivers (algo_ngst.cpp,
+/// algo_otis.cpp) and the data-parallel kernel translation units
+/// (kernel_swar.cpp, kernel_avx2.cpp).  Not installed; the public dispatch
+/// surface is spacefts/core/kernel.hpp.
+///
+/// The AVX2 entry points exist only when the build compiled that TU
+/// (SPACEFTS_HAVE_AVX2); dispatch goes through core::resolve_kernel(),
+/// which never selects Kernel::kAvx2 without it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "spacefts/common/image.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/otis/bounds.hpp"
+
+namespace spacefts::core::detail {
+
+/// Pixel classification shared between the OTIS driver and its kernels.
+/// kClean must stay 0: the vector path derives clean-lane masks by
+/// comparing raw state bytes against zero.
+enum class OtisPixelState : std::uint8_t {
+  kClean = 0,      ///< conforming; acts as a voter
+  kProtected = 1,  ///< natural trend (hypothesis 1); never touched
+  kCandidate = 2,  ///< fault candidate; to be repaired
+};
+
+/// One NGST tile handed to a kernel: `tw` real coordinate series of `n`
+/// readouts each, laid out frame-major in `scratch->soa`
+/// (soa[t * tw_padded + k] = readout t of series k), padded with all-zero
+/// series up to `tw_padded` (a multiple of the widest lane group).  Zero
+/// pad series can never produce a correction — every XOR is 0, so the
+/// unanimous AND is 0 — and the per-tile counters are derived from `tw`,
+/// so padding affects neither data nor report.
+struct NgstTileCtx {
+  std::size_t tw = 0;         ///< real series in the tile
+  std::size_t tw_padded = 0;  ///< allocated lane count (multiple of 16)
+  std::size_t n = 0;          ///< readouts per series (>= 3)
+  const AlgoNgstConfig* cfg = nullptr;
+  NgstScratch* scratch = nullptr;  ///< holds soa and the kernel work buffers
+};
+
+/// Runs the XOR/threshold/vote/mask/apply stages over one tile, in place in
+/// scratch->soa.  Bit-identical to running AlgoNgst::preprocess over each
+/// series and accumulating the reports in series order.
+[[nodiscard]] AlgoNgstReport ngst_tile_swar(const NgstTileCtx& ctx);
+#if defined(SPACEFTS_HAVE_AVX2)
+[[nodiscard]] AlgoNgstReport ngst_tile_avx2(const NgstTileCtx& ctx);
+#endif
+
+/// Phases 2 + 3 of one OTIS plane pass (dynamic thresholds from clean
+/// pairs, then the Jacobi bit vote + candidate fallback).  Phase 1
+/// classification stays in algo_otis.cpp; this context carries its outputs.
+struct OtisPhase23Ctx {
+  common::Image<float>* plane = nullptr;
+  const common::Image<std::uint8_t>* state = nullptr;   ///< OtisPixelState
+  const common::Image<float>* medians = nullptr;        ///< 3x3 medians
+  const otis::RadianceInterval* interval = nullptr;
+  double tau = 0.0;  ///< conformance threshold from phase 1
+  const AlgoOtisConfig* cfg = nullptr;
+  std::size_t lanes = 1;  ///< resolved worker lanes for the row partition
+};
+
+/// Appends bit_corrected / median_replaced to \p report.  Bit-identical to
+/// the scalar phases 2 + 3 at every lane count.
+void otis_phase23_swar(const OtisPhase23Ctx& ctx, AlgoOtisReport& report);
+#if defined(SPACEFTS_HAVE_AVX2)
+void otis_phase23_avx2(const OtisPhase23Ctx& ctx, AlgoOtisReport& report);
+#endif
+
+}  // namespace spacefts::core::detail

@@ -1,0 +1,519 @@
+/// \file kernel_engine.hpp
+/// The data-parallel voter engine, written once against a lane-ops policy
+/// (`Ops`) and instantiated per kernel TU (SwarOps in kernel_swar.cpp,
+/// Avx2Ops in kernel_avx2.cpp).  Internal header — include only from those
+/// TUs.
+///
+/// # Bit-identity to the scalar reference
+///
+/// Every stage either performs the same integer arithmetic as the scalar
+/// code in a different order (XOR/AND/OR are associative and commutative;
+/// the unanimous-AND and the GRT leave-one-out vote are symmetric functions
+/// of the voter multiset), or substitutes a provably equivalent algorithm:
+///
+/// * **Threshold selection.**  The scalar path computes
+///   `q = nth_element(xors, rank)` and `v_val = q == 0 ? 0 : ceil_pow2(q)`.
+///   The composed map x -> (x == 0 ? 0 : ceil_pow2(x)) is monotone
+///   non-decreasing, so it commutes with order statistics:
+///   v_val = value-class of the rank-th smallest element.  The engine
+///   therefore buckets each XOR by its value class
+///   (0, 1, 2, 4, ..., high-bit saturation — exactly the classes that map
+///   distinguishes) and walks the cumulative histogram to the rank.  Same
+///   v_val, no sort, O(n) per way per lane.
+/// * **AND/GRT accumulation.**  With A_0 = ~0, B_0 = 0 and per voter v:
+///   B' = (B & v) | A,  A' = A & v,  after m voters A is the AND of all and
+///   B is the OR of leave-one-out ANDs (induction: the new leave-one-out
+///   set is {leave out v: A} ∪ {leave out an old voter k: (old LOO_k) & v}).
+///   This matches common::grt for every m >= 1, and correction_vector only
+///   consults it for m >= 3.
+/// * **Lane padding.**  NGST tiles are padded with all-zero series; every
+///   XOR of a zero series is 0, so its unanimous AND is 0 and its
+///   correction is always 0 — pad lanes can never touch data or counters.
+///
+/// The cross-kernel differential harness (src/check) and
+/// tests/kernel_test.cpp enforce the identity end to end.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "kernel_detail.hpp"
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/parallel.hpp"
+#include "spacefts/core/sensitivity.hpp"
+#include "spacefts/core/voter_matrix.hpp"
+#include "spacefts/telemetry/telemetry.hpp"
+
+namespace spacefts::core::detail {
+
+// ---------------------------------------------------------------------------
+// Exact histogram order-statistic selection (see file comment).
+
+/// Value-class bucket of one XOR result: bucket 0 holds x == 0, bucket
+/// b >= 1 holds the x with (x == 0 ? 0 : ceil_pow2(x)) == 2^(b-1),
+/// including the saturation class at the type's high bit.
+template <typename Word>
+[[nodiscard]] inline std::size_t vval_bucket(Word x) noexcept {
+  if (x == 0) return 0;
+  constexpr int kCap = static_cast<int>(sizeof(Word) * 8) - 1;
+  const int bw = std::bit_width(static_cast<Word>(x - 1));
+  return 1 + static_cast<std::size_t>(bw < kCap ? bw : kCap);
+}
+
+template <typename Word>
+inline constexpr std::size_t kVvalBuckets = sizeof(Word) * 8 + 1;
+
+/// The v_val of the rank-th smallest element (0-based) of the multiset the
+/// histogram describes.
+template <typename Word>
+[[nodiscard]] inline Word vval_from_hist(
+    const std::uint32_t (&counts)[kVvalBuckets<Word>],
+    std::size_t rank) noexcept {
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < kVvalBuckets<Word>; ++b) {
+    acc += counts[b];
+    if (acc > rank) {
+      return b == 0 ? Word{0} : static_cast<Word>(Word{1} << (b - 1));
+    }
+  }
+  return Word{0};  // unreachable while rank < total count
+}
+
+// ---------------------------------------------------------------------------
+// NGST tile kernel.
+
+/// Window delimiter from a V_val — must stay in lockstep with the lambda in
+/// rebuild_voter_matrix (voter_matrix.cpp).
+[[nodiscard]] inline std::uint16_t ngst_mask_from(std::uint16_t v) noexcept {
+  if (v == 0) return std::uint16_t{0xFFFF};
+  if (v >= 0x8000) return std::uint16_t{0x8000};
+  const auto doubled = static_cast<std::uint16_t>(v << 1);
+  return static_cast<std::uint16_t>(~static_cast<std::uint16_t>(doubled - 1));
+}
+
+/// Carry-propagation plausibility gate on the frame-major SoA layout; the
+/// same arithmetic as correction_is_plausible in algo_ngst.cpp, reading
+/// lane k's *live* (partially corrected) series through the twp stride.
+[[nodiscard]] inline bool ngst_gate_soa(const std::uint16_t* soa,
+                                        std::size_t twp, std::size_t i,
+                                        std::size_t n, std::size_t k,
+                                        std::size_t way_count,
+                                        std::uint16_t corr,
+                                        std::vector<std::uint16_t>& partners) {
+  partners.clear();
+  for (std::size_t d = 1; d <= way_count; ++d) {
+    if (i + d < n) partners.push_back(soa[(i + d) * twp + k]);
+    if (i >= d) partners.push_back(soa[(i - d) * twp + k]);
+  }
+  const std::size_t count = partners.size();
+  if (count == 0) return false;
+  for (std::size_t a = 1; a < count; ++a) {
+    const std::uint16_t key = partners[a];
+    std::size_t b = a;
+    while (b > 0 && key < partners[b - 1]) {
+      partners[b] = partners[b - 1];
+      --b;
+    }
+    partners[b] = key;
+  }
+  const std::int32_t med = partners[count / 2];
+  const std::int32_t dev =
+      std::abs(static_cast<std::int32_t>(soa[i * twp + k]) - med);
+  const std::int32_t top_weight = std::int32_t{1}
+                                  << common::msb_index(corr);
+  return 4 * dev >= 3 * top_weight;
+}
+
+template <class Ops>
+[[nodiscard]] AlgoNgstReport ngst_tile_engine(const NgstTileCtx& c) {
+  using V = typename Ops::V;
+  AlgoNgstReport report;
+  const std::size_t n = c.n;
+  const std::size_t tw = c.tw;
+  const std::size_t twp = c.tw_padded;
+  const AlgoNgstConfig& cfg = *c.cfg;
+  NgstScratch& s = *c.scratch;
+  report.pixels_examined = tw * n;
+  // Same header-sanity-only early-out as the per-series reference.
+  if (cfg.lambda <= 0.0 || n < 3) return report;
+
+  const std::size_t way_count = std::min(cfg.upsilon / 2, n - 1);
+  std::uint16_t* const soa = s.soa.data();
+  s.vplus1.resize(way_count * twp);
+  s.lane_lsb.resize(twp);
+  s.lane_msb.resize(twp);
+  s.corr.resize(n * twp);
+
+  // ---- Threshold stage: per-lane per-way V_val via the exact histogram
+  // selection.  Scalar across lanes (the selection is a data-dependent
+  // walk), but O(n) per lane instead of the reference's sort.
+  for (std::size_t d = 1; d <= way_count; ++d) {
+    const std::size_t rank = prune_rank(n - d, cfg.lambda);
+    std::uint16_t* const vp_row = s.vplus1.data() + (d - 1) * twp;
+    for (std::size_t k = 0; k < twp; ++k) {
+      std::uint32_t counts[kVvalBuckets<std::uint16_t>] = {};
+      const std::uint16_t* const col = soa + k;
+      for (std::size_t i = 0; i + d < n; ++i) {
+        const auto x =
+            static_cast<std::uint16_t>(col[i * twp] ^ col[(i + d) * twp]);
+        ++counts[vval_bucket(x)];
+      }
+      const std::uint16_t vval = vval_from_hist<std::uint16_t>(counts, rank);
+      // Stored as V_val+1 so the prune compare becomes unsigned x >= vp
+      // (no overflow: V_val saturates at 0x8000).
+      vp_row[k] = static_cast<std::uint16_t>(vval + 1);
+    }
+  }
+
+  // ---- Mask stage: per-lane window delimiters from the per-way V_vals.
+  for (std::size_t k = 0; k < twp; ++k) {
+    std::uint16_t min_vval = 0xFFFF;
+    std::uint16_t max_vval = 0;
+    for (std::size_t d = 1; d <= way_count; ++d) {
+      const auto v =
+          static_cast<std::uint16_t>(s.vplus1[(d - 1) * twp + k] - 1);
+      min_vval = std::min(min_vval, v);
+      max_vval = std::max(max_vval, v);
+    }
+    s.lane_lsb[k] = cfg.enable_windows ? ngst_mask_from(min_vval)
+                                       : std::uint16_t{0xFFFF};
+    s.lane_msb[k] =
+        cfg.enable_windows ? ngst_mask_from(max_vval) : std::uint16_t{0};
+  }
+  // Serial accumulate() keeps the last series' masks; that is lane tw-1.
+  report.lsb_mask = s.lane_lsb[tw - 1];
+  report.msb_mask = s.lane_msb[tw - 1];
+
+  // ---- Vote stage: per readout position, accumulate the unanimous AND (A)
+  // and the leave-one-out GRT (B) across all in-range voters, vectorized
+  // across lanes.  All loads read the pre-correction tile — the reference
+  // also computes every correction from the original series (its voter
+  // matrix is built once, before the apply sweep).
+  const bool prune = cfg.enable_pruning;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint16_t* const corr_row = s.corr.data() + i * twp;
+    std::size_t m = 0;  // in-range pairings; uniform across lanes
+    for (std::size_t d = 1; d <= way_count; ++d) {
+      m += (i + d < n ? 1u : 0u) + (i >= d ? 1u : 0u);
+    }
+    if (m < 2) {  // fewer than two voters never correct
+      std::fill(corr_row, corr_row + twp, std::uint16_t{0});
+      continue;
+    }
+    const std::uint16_t* const self_row = soa + i * twp;
+    for (std::size_t c0 = 0; c0 < twp; c0 += Ops::kLanes16) {
+      const V self = Ops::load(self_row + c0);
+      V acc_and = Ops::ones();
+      V acc_grt = Ops::zero();
+      const auto feed = [&](const std::uint16_t* partner_row, const V vp) {
+        const V x = Ops::vxor(self, Ops::load(partner_row + c0));
+        const V v = prune ? Ops::vand(x, Ops::geu16(x, vp)) : x;
+        const V prev_and = acc_and;
+        acc_and = Ops::vand(acc_and, v);
+        acc_grt = Ops::vor(Ops::vand(acc_grt, v), prev_and);
+      };
+      for (std::size_t d = 1; d <= way_count; ++d) {
+        const V vp = Ops::load(s.vplus1.data() + (d - 1) * twp + c0);
+        if (i + d < n) feed(soa + (i + d) * twp, vp);
+        if (i >= d) feed(soa + (i - d) * twp, vp);
+      }
+      const V lsb = Ops::load(s.lane_lsb.data() + c0);
+      const V msb = Ops::load(s.lane_msb.data() + c0);
+      const V aux = m >= 3 ? Ops::vand(acc_grt, msb) : Ops::zero();
+      Ops::store(corr_row + c0, Ops::vand(Ops::vor(acc_and, aux), lsb));
+    }
+  }
+
+  // ---- Apply stage: sparse scan over the correction plane.  Corrections
+  // only touch their own lane, and the gate only reads the lane's own live
+  // series, so readout-major application equals the reference's
+  // series-major order lane by lane.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint16_t* const corr_row = s.corr.data() + i * twp;
+    for (std::size_t c0 = 0; c0 < twp; c0 += 4) {
+      std::uint64_t group;
+      std::memcpy(&group, corr_row + c0, sizeof(group));
+      if (group == 0) continue;
+      for (std::size_t k = c0; k < c0 + 4; ++k) {
+        const std::uint16_t corr = corr_row[k];
+        if (corr == 0) continue;  // pad lanes always land here
+        if (cfg.enable_plausibility_gate &&
+            !ngst_gate_soa(soa, twp, i, n, k, way_count, corr, s.partners)) {
+          ++report.pixels_vetoed;
+        } else {
+          soa[i * twp + k] = static_cast<std::uint16_t>(soa[i * twp + k] ^ corr);
+          ++report.pixels_corrected;
+          report.bits_corrected +=
+              static_cast<std::size_t>(std::popcount(corr));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// OTIS plane kernel (phases 2 + 3).
+
+/// One spatial pairing axis at one distance (dx, dy >= 0; both signs are
+/// consulted at vote time).
+struct OtisWay {
+  std::ptrdiff_t dx = 0;
+  std::ptrdiff_t dy = 0;
+  std::uint32_t v_val = 0;
+};
+
+[[nodiscard]] inline std::uint32_t otis_mask_from(std::uint32_t v) noexcept {
+  return v <= 1 ? 0xFFFFFFFFu : ~(v - 1);
+}
+
+/// Phase 2: dynamic thresholds from clean pairs, via the exact histogram
+/// selection.  Returns have_thresholds (false when any way has fewer than 8
+/// clean pairs, same bail-out and way order as the scalar reference).
+[[nodiscard]] inline bool otis_thresholds(const common::Image<float>& plane,
+                                          const common::Image<std::uint8_t>& state,
+                                          const AlgoOtisConfig& cfg,
+                                          std::vector<OtisWay>& ways,
+                                          std::uint32_t& lsb_mask,
+                                          std::uint32_t& msb_mask) {
+  ways.clear();
+  for (std::size_t k = 1; k <= cfg.upsilon / 2; ++k) {
+    const auto dist = static_cast<std::ptrdiff_t>((k + 1) / 2);
+    if (k % 2 == 1) {
+      ways.push_back(OtisWay{dist, 0, 0});
+    } else {
+      ways.push_back(OtisWay{0, dist, 0});
+    }
+  }
+  const std::size_t w = plane.width();
+  const std::size_t h = plane.height();
+  const float* const px = plane.pixels().data();
+  const std::uint8_t* const st = state.pixels().data();
+  std::uint32_t min_vval = 0xFFFFFFFFu;
+  std::uint32_t max_vval = 0;
+  bool have = true;
+  for (auto& way : ways) {
+    std::uint32_t counts[kVvalBuckets<std::uint32_t>] = {};
+    std::size_t total = 0;
+    // dx, dy >= 0, so the only out-of-image neighbours are past the
+    // high edge; the scan bound excludes them up front.
+    const std::size_t x_end =
+        way.dx < static_cast<std::ptrdiff_t>(w) ? w - static_cast<std::size_t>(way.dx) : 0;
+    const std::size_t y_end =
+        way.dy < static_cast<std::ptrdiff_t>(h) ? h - static_cast<std::size_t>(way.dy) : 0;
+    const std::size_t noff =
+        static_cast<std::size_t>(way.dy) * w + static_cast<std::size_t>(way.dx);
+    for (std::size_t y = 0; y < y_end; ++y) {
+      const std::size_t row = y * w;
+      for (std::size_t x = 0; x < x_end; ++x) {
+        if (st[row + x] != 0 || st[row + x + noff] != 0) continue;
+        const std::uint32_t xr = common::float_to_bits(px[row + x]) ^
+                                 common::float_to_bits(px[row + x + noff]);
+        ++counts[vval_bucket(xr)];
+        ++total;
+      }
+    }
+    if (total < 8) {
+      have = false;
+      break;
+    }
+    const std::size_t rank = prune_rank(total, cfg.lambda);
+    way.v_val = vval_from_hist<std::uint32_t>(counts, rank);
+    min_vval = std::min(min_vval, way.v_val);
+    max_vval = std::max(max_vval, way.v_val);
+  }
+  lsb_mask = have ? otis_mask_from(min_vval) : 0;
+  msb_mask = have ? otis_mask_from(max_vval) : 0;
+  return have;
+}
+
+/// Scalar correction vector for one pixel — the reference voter loop
+/// verbatim; used for the edge columns the vector path cannot load safely.
+[[nodiscard]] inline std::uint32_t otis_corr_scalar(
+    const common::Image<float>& source, const common::Image<std::uint8_t>& state,
+    const std::vector<OtisWay>& ways, std::size_t x, std::size_t y,
+    std::uint32_t lsb_mask, std::uint32_t msb_mask,
+    std::vector<std::uint32_t>& voters) {
+  const std::size_t w = source.width();
+  const std::size_t h = source.height();
+  voters.clear();
+  const std::uint32_t self = common::float_to_bits(source(x, y));
+  for (const auto& way : ways) {
+    for (const int sign : {+1, -1}) {
+      const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x) + sign * way.dx;
+      const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y) + sign * way.dy;
+      if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+          ny >= static_cast<std::ptrdiff_t>(h)) {
+        continue;
+      }
+      if (state(static_cast<std::size_t>(nx), static_cast<std::size_t>(ny)) !=
+          0) {
+        continue;
+      }
+      const std::uint32_t xr =
+          self ^ common::float_to_bits(source(static_cast<std::size_t>(nx),
+                                              static_cast<std::size_t>(ny)));
+      voters.push_back(xr > way.v_val ? xr : 0u);
+    }
+  }
+  return correction_vector<std::uint32_t>(voters, lsb_mask, msb_mask);
+}
+
+template <class Ops>
+void otis_phase23_engine(const OtisPhase23Ctx& c, AlgoOtisReport& report) {
+  using V = typename Ops::V;
+  namespace par = spacefts::common::parallel;
+  common::Image<float>& plane = *c.plane;
+  const common::Image<std::uint8_t>& state = *c.state;
+  const common::Image<float>& medians = *c.medians;
+  const otis::RadianceInterval& interval = *c.interval;
+  const AlgoOtisConfig& cfg = *c.cfg;
+  const double tau = c.tau;
+  const std::size_t w = plane.width();
+  const std::size_t h = plane.height();
+
+  std::vector<OtisWay> ways;
+  std::uint32_t lsb_mask = 0;
+  std::uint32_t msb_mask = 0;
+  bool have_thresholds = false;
+  {
+    SPACEFTS_TSPAN("otis.thresholds", {"lambda", cfg.lambda});
+    have_thresholds =
+        otis_thresholds(plane, state, cfg, ways, lsb_mask, msb_mask);
+  }
+
+  // Jacobi snapshot, as in the reference: voters never see this pass's own
+  // repairs, which is what makes row-parallel execution order-free.
+  const common::Image<float> source = plane;
+  const float* const src = source.pixels().data();
+  const std::uint8_t* const st = state.pixels().data();
+  const std::size_t lanes = c.lanes;
+  std::vector<std::size_t> lane_bit(lanes, 0);
+  std::vector<std::size_t> lane_median(lanes, 0);
+  // Widest horizontal reach: inside [dmax, w - dmax) every neighbour load
+  // of a lane group stays within the image rows.
+  std::size_t dmax = 0;
+  for (const auto& way : ways) {
+    dmax = std::max(dmax, static_cast<std::size_t>(way.dx));
+  }
+  {
+    SPACEFTS_TSPAN("otis.vote");
+    par::parallel_for(h, /*grain=*/4, lanes, [&](std::size_t y0, std::size_t y1,
+                                                 std::size_t lane) {
+      std::vector<std::uint32_t> corr_row(w, 0);
+      std::vector<std::uint32_t> voters;
+      voters.reserve(cfg.upsilon);
+      for (std::size_t y = y0; y < y1; ++y) {
+        if (have_thresholds) {
+          // Scalar edge columns, vector middle.
+          const std::size_t xa = std::min(dmax, w);
+          std::size_t xb = w > dmax ? w - dmax : 0;
+          if (xb < xa) xb = xa;
+          const std::size_t xv_end = xa + (xb - xa) / Ops::kLanes32 * Ops::kLanes32;
+          for (std::size_t x = 0; x < xa; ++x) {
+            corr_row[x] = otis_corr_scalar(source, state, ways, x, y, lsb_mask,
+                                           msb_mask, voters);
+          }
+          for (std::size_t x0 = xa; x0 < xv_end; x0 += Ops::kLanes32) {
+            const V self = Ops::load(src + y * w + x0);
+            V acc_and = Ops::ones();
+            V acc_grt = Ops::zero();
+            V count = Ops::zero();
+            for (const auto& way : ways) {
+              const V vp = Ops::bcast32(way.v_val + 1);
+              for (const int sign : {+1, -1}) {
+                const std::ptrdiff_t ny =
+                    static_cast<std::ptrdiff_t>(y) + sign * way.dy;
+                if (ny < 0 || ny >= static_cast<std::ptrdiff_t>(h)) continue;
+                const std::size_t off =
+                    static_cast<std::size_t>(ny) * w +
+                    static_cast<std::size_t>(static_cast<std::ptrdiff_t>(x0) +
+                                             sign * way.dx);
+                // Clean-lane mask: included voters; others leave A, B, and
+                // the count untouched.
+                const V valid = Ops::clean_mask32(st + off);
+                const V x = Ops::vxor(self, Ops::load(src + off));
+                const V v = Ops::vand(x, Ops::geu32(x, vp));
+                const V prev_and = acc_and;
+                acc_and = Ops::vand(acc_and, Ops::vor(v, Ops::vnot(valid)));
+                acc_grt = Ops::vor(
+                    Ops::vand(Ops::vor(Ops::vand(acc_grt, v), prev_and), valid),
+                    Ops::vand(acc_grt, Ops::vnot(valid)));
+                count = Ops::add32(count, Ops::vand(valid, Ops::bcast32(1)));
+              }
+            }
+            const V ge2 = Ops::geu32(count, Ops::bcast32(2));
+            const V ge3 = Ops::geu32(count, Ops::bcast32(3));
+            const V aux =
+                Ops::vand(Ops::vand(acc_grt, ge3), Ops::bcast32(msb_mask));
+            const V corr = Ops::vand(
+                Ops::vand(Ops::vor(acc_and, aux), Ops::bcast32(lsb_mask)), ge2);
+            Ops::store(corr_row.data() + x0, corr);
+          }
+          for (std::size_t x = xv_end; x < w; ++x) {
+            corr_row[x] = otis_corr_scalar(source, state, ways, x, y, lsb_mask,
+                                           msb_mask, voters);
+          }
+        }
+        // Apply sweep — the reference phase-3 body, reading the precomputed
+        // correction vector instead of re-gathering voters.
+        for (std::size_t x = 0; x < w; ++x) {
+          const std::uint8_t stv = st[y * w + x];
+          if (stv == static_cast<std::uint8_t>(OtisPixelState::kProtected)) {
+            continue;
+          }
+          const bool candidate =
+              stv == static_cast<std::uint8_t>(OtisPixelState::kCandidate);
+          const float original = source(x, y);
+          const float fallback = medians(x, y);
+          if (have_thresholds) {
+            const std::uint32_t corr = corr_row[x];
+            if (corr != 0) {
+              const std::uint32_t self = common::float_to_bits(original);
+              const float cand = common::bits_to_float(self ^ corr);
+              const bool physical =
+                  std::isfinite(cand) &&
+                  (!cfg.enable_bounds ||
+                   interval.contains(static_cast<double>(cand)));
+              const bool converges =
+                  std::isfinite(fallback) &&
+                  (!std::isfinite(original) ||
+                   std::abs(static_cast<double>(cand) -
+                            static_cast<double>(fallback)) <
+                       std::abs(static_cast<double>(original) -
+                                static_cast<double>(fallback)));
+              if (physical && converges) {
+                plane(x, y) = cand;
+                ++lane_bit[lane];
+              }
+            }
+          }
+          if (candidate && std::isfinite(fallback)) {
+            const float now = plane(x, y);
+            const bool conforming =
+                std::isfinite(now) &&
+                (!cfg.enable_bounds ||
+                 interval.contains(static_cast<double>(now))) &&
+                std::abs(static_cast<double>(now) -
+                         static_cast<double>(fallback)) <= 2.0 * tau;
+            if (!conforming) {
+              plane(x, y) = fallback;
+              ++lane_median[lane];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::size_t l = 0; l < lanes; ++l) {
+    report.bit_corrected += lane_bit[l];
+    report.median_replaced += lane_median[l];
+  }
+}
+
+}  // namespace spacefts::core::detail

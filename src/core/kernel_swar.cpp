@@ -1,0 +1,99 @@
+/// \file kernel_swar.cpp
+/// Portable SIMD-within-a-register kernel: 4 x u16 or 2 x u32 lanes per
+/// std::uint64_t.  No ISA requirements — this is the floor every build and
+/// host can run, and the fallback resolve_kernel() picks when AVX2 is
+/// requested but unavailable.
+#include <cstdint>
+#include <cstring>
+
+#include "kernel_engine.hpp"
+
+namespace spacefts::core::detail {
+namespace {
+
+/// Lane-ops policy over one 64-bit word.
+///
+/// The unsigned per-lane >= compares use the classic borrow trick: widen
+/// each lane into a 32- (or 64-) bit container with a guard bit above it,
+/// subtract, and read the guard bit — it survives exactly when the lane
+/// subtraction did not borrow, i.e. when x >= y.  Even and odd u16 lanes
+/// are handled in two passes so every lane owns a full container.
+struct SwarOps {
+  using V = std::uint64_t;
+  static constexpr std::size_t kLanes16 = 4;
+  static constexpr std::size_t kLanes32 = 2;
+
+  static V load(const std::uint16_t* p) noexcept {
+    V v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static V load(const std::uint32_t* p) noexcept {
+    V v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static V load(const float* p) noexcept {
+    V v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static void store(std::uint16_t* p, V v) noexcept {
+    std::memcpy(p, &v, sizeof(v));
+  }
+  static void store(std::uint32_t* p, V v) noexcept {
+    std::memcpy(p, &v, sizeof(v));
+  }
+
+  static V zero() noexcept { return 0; }
+  static V ones() noexcept { return ~std::uint64_t{0}; }
+  static V vand(V a, V b) noexcept { return a & b; }
+  static V vor(V a, V b) noexcept { return a | b; }
+  static V vxor(V a, V b) noexcept { return a ^ b; }
+  static V vnot(V a) noexcept { return ~a; }
+  static V bcast32(std::uint32_t v) noexcept {
+    return static_cast<std::uint64_t>(v) * 0x0000000100000001ull;
+  }
+  /// Lane-wise 32-bit add; lanes hold small voter counts, so no lane can
+  /// ever carry into its neighbour.
+  static V add32(V a, V b) noexcept { return a + b; }
+
+  /// Per-u16-lane x >= y -> 0xFFFF, else 0.
+  static V geu16(V x, V y) noexcept {
+    constexpr std::uint64_t kEven = 0x0000FFFF0000FFFFull;
+    constexpr std::uint64_t kGuard = 0x0001000000010000ull;
+    constexpr std::uint64_t kSel = 0x0000000100000001ull;
+    const std::uint64_t de = ((x & kEven) | kGuard) - (y & kEven);
+    const std::uint64_t dd = (((x >> 16) & kEven) | kGuard) - ((y >> 16) & kEven);
+    const std::uint64_t me = ((de >> 16) & kSel) * 0xFFFFull;
+    const std::uint64_t mo = ((dd >> 16) & kSel) * 0xFFFFull;
+    return me | (mo << 16);
+  }
+
+  /// Per-u32-lane x >= y -> 0xFFFFFFFF, else 0.
+  static V geu32(V x, V y) noexcept {
+    constexpr std::uint64_t kGuard = 0x100000000ull;
+    constexpr std::uint64_t kLow = 0xFFFFFFFFull;
+    const std::uint64_t de = ((x & kLow) | kGuard) - (y & kLow);
+    const std::uint64_t dd = ((x >> 32) | kGuard) - (y >> 32);
+    return (((de >> 32) & 1u) * kLow) | ((((dd >> 32) & 1u) * kLow) << 32);
+  }
+
+  /// Clean-state mask from two raw state bytes (OtisPixelState::kClean == 0).
+  static V clean_mask32(const std::uint8_t* p) noexcept {
+    return (p[0] == 0 ? 0xFFFFFFFFull : 0) |
+           (p[1] == 0 ? 0xFFFFFFFFull << 32 : 0);
+  }
+};
+
+}  // namespace
+
+AlgoNgstReport ngst_tile_swar(const NgstTileCtx& ctx) {
+  return ngst_tile_engine<SwarOps>(ctx);
+}
+
+void otis_phase23_swar(const OtisPhase23Ctx& ctx, AlgoOtisReport& report) {
+  otis_phase23_engine<SwarOps>(ctx, report);
+}
+
+}  // namespace spacefts::core::detail

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/fault/message_faults.hpp"
 #include "spacefts/serve/queue.hpp"
 #include "spacefts/serve/request.hpp"
@@ -25,6 +26,10 @@ struct ExecContext {
   /// Lanes each batch item's stack preprocessing uses on the shared
   /// common::parallel pool; 1 = serial.  Output is bit-identical either way.
   std::size_t algo_threads = 1;
+  /// Voter kernel for every preprocessing stage (NGST ingest, pipeline,
+  /// OTIS planes).  kAuto resolves to the widest the host supports;
+  /// results are bit-identical for every choice.
+  core::Kernel kernel = core::Kernel::kAuto;
   /// Shape of the dist pipeline for run_pipeline jobs.
   std::size_t pipeline_workers = 4;
   std::size_t fragment_side = 16;

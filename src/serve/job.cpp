@@ -68,6 +68,7 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
   ic.expectation.height = static_cast<std::int64_t>(job.side);
   ic.algo.lambda = job.lambda;
   ic.algo.threads = ctx.algo_threads;
+  ic.algo.kernel = ctx.kernel;
   const ingest::IngestGuard guard(ic);
   auto ingested = guard.ingest(payload);
   if (!ingested.ok) {
@@ -91,6 +92,7 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
     pc.link.faults.duplicate_prob = job.link_loss / 2.0;
     pc.link.faults.delay_prob = job.link_loss;
     pc.algo.lambda = job.lambda;
+    pc.algo.kernel = ctx.kernel;
     pc.threads = ctx.algo_threads;
     common::Rng pipeline_rng(
         common::derive_stream_seed(job.seed, request.id, kStreamPipeline));
@@ -134,6 +136,7 @@ RequestResult execute_otis(const Request& request, bool corrupt_ingress,
   core::AlgoOtisConfig oc;
   oc.lambda = job.lambda;
   oc.threads = ctx.algo_threads;
+  oc.kernel = ctx.kernel;
   const core::AlgoOtis algo(oc);
   const auto report = algo.preprocess(scene.radiance, scene.wavelengths_um);
   result.pixels_corrected = report.bit_corrected + report.median_replaced;

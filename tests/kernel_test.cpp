@@ -1,0 +1,281 @@
+// Kernel parity: every compute kernel (scalar reference, portable SWAR,
+// AVX2 where the host supports it) must produce byte-identical data and
+// identical reports, for every thread count, over adversarial shapes —
+// odd tile remainders, every Υ the check harness fuzzes, masked window-C
+// edges, and the ablation switch combinations.  This is the contract the
+// runtime dispatch seam (core/kernel.hpp) rests on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "spacefts/common/bitops.hpp"
+#include "spacefts/common/image.hpp"
+#include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/algo_otis.hpp"
+#include "spacefts/core/kernel.hpp"
+
+namespace {
+
+using spacefts::common::Image;
+using spacefts::common::TemporalStack;
+using spacefts::core::AlgoNgst;
+using spacefts::core::AlgoNgstConfig;
+using spacefts::core::AlgoNgstReport;
+using spacefts::core::AlgoOtis;
+using spacefts::core::AlgoOtisConfig;
+using spacefts::core::AlgoOtisReport;
+using spacefts::core::Kernel;
+
+/// A stack of mostly smooth per-coordinate series with occasional injected
+/// single-bit upsets — enough corrections to exercise vote, gate, and apply.
+TemporalStack<std::uint16_t> make_stack(std::size_t w, std::size_t h,
+                                        std::size_t frames,
+                                        std::uint32_t seed) {
+  TemporalStack<std::uint16_t> stack(w, h, frames);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> base(500, 40000);
+  std::uniform_int_distribution<int> jitter(-12, 12);
+  std::uniform_int_distribution<int> bit(8, 15);
+  std::uniform_int_distribution<int> upset(0, 199);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const int level = base(rng);
+      for (std::size_t t = 0; t < frames; ++t) {
+        int v = level + jitter(rng);
+        if (v < 0) v = 0;
+        auto word = static_cast<std::uint16_t>(v);
+        if (upset(rng) == 0) {
+          word = static_cast<std::uint16_t>(word ^ (1u << bit(rng)));
+        }
+        stack(x, y, t) = word;
+      }
+    }
+  }
+  return stack;
+}
+
+void expect_ngst_reports_equal(const AlgoNgstReport& a, const AlgoNgstReport& b,
+                               const char* label) {
+  EXPECT_EQ(a.lsb_mask, b.lsb_mask) << label;
+  EXPECT_EQ(a.msb_mask, b.msb_mask) << label;
+  EXPECT_EQ(a.pixels_examined, b.pixels_examined) << label;
+  EXPECT_EQ(a.pixels_corrected, b.pixels_corrected) << label;
+  EXPECT_EQ(a.bits_corrected, b.bits_corrected) << label;
+  EXPECT_EQ(a.pixels_vetoed, b.pixels_vetoed) << label;
+}
+
+/// Runs the same stack through every available kernel at several thread
+/// counts and byte-compares everything against the scalar single-thread
+/// reference output.
+void check_ngst_parity(const AlgoNgstConfig& base, std::size_t w,
+                       std::size_t h, std::size_t frames, std::uint32_t seed) {
+  const TemporalStack<std::uint16_t> pristine = make_stack(w, h, frames, seed);
+
+  AlgoNgstConfig ref_cfg = base;
+  ref_cfg.kernel = Kernel::kScalar;
+  ref_cfg.threads = 1;
+  TemporalStack<std::uint16_t> golden = pristine;
+  const AlgoNgstReport golden_report = AlgoNgst(ref_cfg).preprocess(golden);
+
+  for (const Kernel kernel : spacefts::core::available_kernels()) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      AlgoNgstConfig cfg = base;
+      cfg.kernel = kernel;
+      cfg.threads = threads;
+      TemporalStack<std::uint16_t> stack = pristine;
+      const AlgoNgstReport report = AlgoNgst(cfg).preprocess(stack);
+      const std::string label = std::string("kernel=") +
+                                spacefts::core::kernel_name(kernel) +
+                                " threads=" + std::to_string(threads);
+      expect_ngst_reports_equal(golden_report, report, label.c_str());
+      ASSERT_EQ(golden.cube().voxels().size(), stack.cube().voxels().size());
+      for (std::size_t i = 0; i < golden.cube().voxels().size(); ++i) {
+        ASSERT_EQ(golden.cube().voxels()[i], stack.cube().voxels()[i])
+            << label << " voxel " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, NamesRoundTrip) {
+  for (const Kernel k : {Kernel::kAuto, Kernel::kScalar, Kernel::kSwar,
+                         Kernel::kAvx2}) {
+    Kernel parsed = Kernel::kAuto;
+    ASSERT_TRUE(
+        spacefts::core::parse_kernel(spacefts::core::kernel_name(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  Kernel parsed = Kernel::kAuto;
+  EXPECT_FALSE(spacefts::core::parse_kernel("sse9", parsed));
+}
+
+TEST(KernelDispatch, ResolveNeverReturnsAutoOrUnavailable) {
+  for (const Kernel k : {Kernel::kAuto, Kernel::kScalar, Kernel::kSwar,
+                         Kernel::kAvx2}) {
+    const Kernel resolved = spacefts::core::resolve_kernel(k);
+    EXPECT_NE(resolved, Kernel::kAuto);
+    EXPECT_TRUE(spacefts::core::kernel_available(resolved));
+  }
+}
+
+TEST(KernelDispatch, AvailableKernelsAlwaysIncludePortableOnes) {
+  const auto kernels = spacefts::core::available_kernels();
+  ASSERT_GE(kernels.size(), 2u);
+  EXPECT_EQ(kernels[0], Kernel::kScalar);
+  EXPECT_EQ(kernels[1], Kernel::kSwar);
+}
+
+TEST(KernelParity, NgstDefaultConfig) {
+  AlgoNgstConfig cfg;
+  cfg.lambda = 80.0;
+  check_ngst_parity(cfg, 96, 24, 8, 1);
+}
+
+TEST(KernelParity, NgstOddTileRemainderAndUpsilonSweep) {
+  // width 67 leaves a 3-series tail tile: 13 lanes of zero padding in the
+  // vector kernels.  Υ sweeps past the frame count so way clamping engages.
+  for (const std::size_t upsilon : {std::size_t{4}, std::size_t{8},
+                                    std::size_t{12}}) {
+    AlgoNgstConfig cfg;
+    cfg.upsilon = upsilon;
+    cfg.lambda = 85.0;
+    check_ngst_parity(cfg, 67, 11, 8, 40 + static_cast<std::uint32_t>(upsilon));
+  }
+}
+
+TEST(KernelParity, NgstLongSeries) {
+  AlgoNgstConfig cfg;
+  cfg.upsilon = 8;
+  cfg.lambda = 75.0;
+  check_ngst_parity(cfg, 33, 7, 64, 7);
+}
+
+TEST(KernelParity, NgstAblations) {
+  // Windows off forces unanimity with nothing masked; pruning off keeps raw
+  // XORs as voters; gate off applies every voted correction.  Each switch
+  // changes which stages matter, so each must hold parity on its own.
+  for (int mask = 0; mask < 8; ++mask) {
+    AlgoNgstConfig cfg;
+    cfg.lambda = 90.0;
+    cfg.enable_windows = (mask & 1) != 0;
+    cfg.enable_pruning = (mask & 2) != 0;
+    cfg.enable_plausibility_gate = (mask & 4) != 0;
+    check_ngst_parity(cfg, 40, 6, 8, 100 + static_cast<std::uint32_t>(mask));
+  }
+}
+
+TEST(KernelParity, NgstTinyAndDegenerateShapes) {
+  AlgoNgstConfig cfg;
+  // Fewer than 3 frames: header-sanity-only early-out on every kernel.
+  check_ngst_parity(cfg, 21, 5, 2, 11);
+  // Single-column stack: tile width 1 (15 pad lanes).
+  check_ngst_parity(cfg, 1, 9, 8, 12);
+  // Lambda 0: kernels must not touch the data at all.
+  AlgoNgstConfig off;
+  off.lambda = 0.0;
+  check_ngst_parity(off, 30, 4, 8, 13);
+}
+
+/// A plane with a smooth gradient, a hot plateau (trend protection), some
+/// bit-flip faults, and an out-of-bounds spike.
+Image<float> make_plane(std::size_t w, std::size_t h, std::uint32_t seed) {
+  Image<float> plane(w, h, 0.0f);
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> noise(-0.05f, 0.05f);
+  std::uniform_int_distribution<int> upset(0, 149);
+  std::uniform_int_distribution<int> bit(20, 30);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      float v = 5.0f + 0.01f * static_cast<float>(x) +
+                0.02f * static_cast<float>(y) + noise(rng);
+      if (x > w / 2 && x < w / 2 + 4 && y > h / 2 && y < h / 2 + 4) {
+        v += 3.0f;  // plateau anomaly: trend test should protect its rim
+      }
+      if (upset(rng) == 0) {
+        const std::uint32_t bits = spacefts::common::float_to_bits(v);
+        v = spacefts::common::bits_to_float(
+            bits ^ (1u << static_cast<unsigned>(bit(rng))));
+      }
+      plane(x, y) = v;
+    }
+  }
+  plane(2, 2) = 1.0e30f;  // hypothesis-(2) out-of-bounds fault
+  return plane;
+}
+
+void expect_otis_reports_equal(const AlgoOtisReport& a, const AlgoOtisReport& b,
+                               const char* label) {
+  EXPECT_EQ(a.pixels_examined, b.pixels_examined) << label;
+  EXPECT_EQ(a.out_of_bounds, b.out_of_bounds) << label;
+  EXPECT_EQ(a.outliers, b.outliers) << label;
+  EXPECT_EQ(a.trend_protected, b.trend_protected) << label;
+  EXPECT_EQ(a.bit_corrected, b.bit_corrected) << label;
+  EXPECT_EQ(a.median_replaced, b.median_replaced) << label;
+}
+
+void check_otis_parity(const AlgoOtisConfig& base, std::size_t w,
+                       std::size_t h, std::uint32_t seed) {
+  const Image<float> pristine = make_plane(w, h, seed);
+  constexpr double kWavelengthUm = 10.0;
+
+  AlgoOtisConfig ref_cfg = base;
+  ref_cfg.kernel = Kernel::kScalar;
+  ref_cfg.threads = 1;
+  Image<float> golden = pristine;
+  const AlgoOtisReport golden_report =
+      AlgoOtis(ref_cfg).preprocess_plane(golden, kWavelengthUm);
+
+  for (const Kernel kernel : spacefts::core::available_kernels()) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+      AlgoOtisConfig cfg = base;
+      cfg.kernel = kernel;
+      cfg.threads = threads;
+      Image<float> plane = pristine;
+      const AlgoOtisReport report =
+          AlgoOtis(cfg).preprocess_plane(plane, kWavelengthUm);
+      const std::string label = std::string("kernel=") +
+                                spacefts::core::kernel_name(kernel) +
+                                " threads=" + std::to_string(threads);
+      expect_otis_reports_equal(golden_report, report, label.c_str());
+      for (std::size_t i = 0; i < golden.pixels().size(); ++i) {
+        // Bit-level compare: NaN payloads and signed zeros must match too.
+        ASSERT_EQ(spacefts::common::float_to_bits(golden.pixels()[i]),
+                  spacefts::common::float_to_bits(plane.pixels()[i]))
+            << label << " pixel " << i;
+      }
+    }
+  }
+}
+
+TEST(KernelParity, OtisDefaultConfig) {
+  AlgoOtisConfig cfg;
+  check_otis_parity(cfg, 61, 23, 2);
+}
+
+TEST(KernelParity, OtisUpsilonSweepAndOddWidths) {
+  for (const std::size_t upsilon : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}}) {
+    AlgoOtisConfig cfg;
+    cfg.upsilon = upsilon;
+    cfg.lambda = 70.0;
+    check_otis_parity(cfg, 37, 19, 60 + static_cast<std::uint32_t>(upsilon));
+  }
+}
+
+TEST(KernelParity, OtisAblationsAndTinyPlane) {
+  AlgoOtisConfig no_bounds;
+  no_bounds.enable_bounds = false;
+  check_otis_parity(no_bounds, 29, 17, 5);
+  AlgoOtisConfig no_trend;
+  no_trend.enable_trend_test = false;
+  check_otis_parity(no_trend, 29, 17, 6);
+  // Narrower than the widest way's reach: the vector middle degenerates and
+  // every column goes through the scalar edge path.
+  AlgoOtisConfig wide;
+  wide.upsilon = 8;
+  check_otis_parity(wide, 5, 9, 8);
+}
+
+}  // namespace

@@ -7,9 +7,11 @@
 ///       flip bits of the data units with probability gamma0 per bit;
 ///       --header additionally damages one structural keyword
 ///   spacefts_cli ingest <in.fits> <out.fits> [lambda] [upsilon] [--threads N]
+///                       [--kernel auto|scalar|swar|avx2]
 ///       run the full ingest layer (sanity + Algo_NGST) and write the
 ///       repaired baseline; --threads selects the preprocessing worker
-///       lanes (0 = all hardware threads; output is identical either way)
+///       lanes (0 = all hardware threads) and --kernel the voter kernel
+///       (auto = widest the host supports; output is identical either way)
 ///   spacefts_cli info <in.fits>
 ///       print HDU headers and geometry
 ///   spacefts_cli psi <a.fits> <b.fits>
@@ -17,7 +19,7 @@
 ///   spacefts_cli pipeline [--side N] [--frames N] [--workers N]
 ///                         [--fragment-side N] [--gamma0 X] [--crash X]
 ///                         [--link-loss X] [--lambda X] [--retries N]
-///                         [--seed S] [--threads N]
+///                         [--seed S] [--threads N] [--kernel K]
 ///       generate one baseline, ingest it, and run the distributed
 ///       scatter/compute/gather pipeline once under the configured fault
 ///       model — the single-run counterpart of `campaign`, and the
@@ -38,12 +40,13 @@
 ///       results with --results-out, the workload with --workload-out
 ///       (--gen-only stops after generating)
 ///   spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]
-///                      [--corpus-out file] [--replay file]
+///                      [--kernel K] [--corpus-out file] [--replay file]
 ///       differential/metamorphic correctness harness: fuzz N seeded cases
 ///       cross-checking the optimized preprocessing paths against the naive
-///       golden oracles at every requested thread count, or --replay a
-///       committed failure corpus; failing cases are shrunk and written to
-///       --corpus-out; exits 1 on any divergence
+///       golden oracles at every requested (kernel, thread count) pair —
+///       all available kernels by default, one forced via --kernel — or
+///       --replay a committed failure corpus; failing cases are shrunk and
+///       written to --corpus-out; exits 1 on any divergence
 ///   spacefts_cli version | --version
 ///       print the tool version
 ///   spacefts_cli help [verb]
@@ -70,6 +73,7 @@
 #include "spacefts/check/corpus.hpp"
 #include "spacefts/check/differential.hpp"
 #include "spacefts/core/algo_ngst.hpp"
+#include "spacefts/core/kernel.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/dist/pipeline.hpp"
 #include "spacefts/fault/models.hpp"
@@ -103,14 +107,16 @@ constexpr VerbHelp kVerbHelp[] = {
      "  spacefts_cli corrupt <in> <out> <gamma0> [seed=2] [--header]\n"},
     {"ingest",
      "  spacefts_cli ingest <in> <out> [lambda=80] [upsilon=4]"
-     " [--threads N]\n"},
+     " [--threads N]\n"
+     "                [--kernel auto|scalar|swar|avx2]\n"},
     {"info", "  spacefts_cli info <in>\n"},
     {"psi", "  spacefts_cli psi <a> <b>\n"},
     {"pipeline",
      "  spacefts_cli pipeline [--side N] [--frames N] [--workers N]"
      " [--fragment-side N]\n"
      "                [--gamma0 X] [--crash X] [--link-loss X] [--lambda X]\n"
-     "                [--retries N] [--seed S] [--threads N]\n"},
+     "                [--retries N] [--seed S] [--threads N]"
+     " [--kernel auto|scalar|swar|avx2]\n"},
     {"campaign",
      "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
      " [--link-loss a,b] [--lambda a,b]\n"
@@ -127,10 +133,12 @@ constexpr VerbHelp kVerbHelp[] = {
      "                [--admit-wait-ms X] [--pace] [--ingress-drop X]"
      " [--ingress-corrupt X]\n"
      "                [--results-out file] [--workload-out file]"
-     " [--gen-only]\n"},
+     " [--gen-only]\n"
+     "                [--kernel auto|scalar|swar|avx2]\n"},
     {"check",
      "  spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]\n"
-     "                [--corpus-out file] [--replay file]\n"},
+     "                [--kernel auto|scalar|swar|avx2]"
+     " [--corpus-out file] [--replay file]\n"},
     {"version", "  spacefts_cli version | --version\n"},
     {"help", "  spacefts_cli help [verb]\n"},
 };
@@ -196,6 +204,14 @@ int bad_flag(const std::string& flag, const char* detail) {
   errno = 0;
   out = std::strtoull(text, &end, 10);
   return errno == 0 && *end == '\0';
+}
+
+/// Parses a --kernel value (auto|scalar|swar|avx2).  An explicit variant
+/// the host cannot run is honoured via resolve_kernel's documented
+/// fallback, so it is not a usage error here.
+[[nodiscard]] bool parse_kernel_flag(const char* text,
+                                     spacefts::core::Kernel& out) {
+  return text != nullptr && spacefts::core::parse_kernel(text, out);
 }
 
 /// Shared handling of --trace-out/--metrics-out across verbs.
@@ -369,6 +385,7 @@ int cmd_ingest(int argc, char** argv) {
   // Positional <in> <out> [lambda] [upsilon]; flags may appear anywhere.
   std::vector<const char*> positional;
   std::size_t threads = 1;
+  spacefts::core::Kernel kernel = spacefts::core::Kernel::kAuto;
   TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -378,6 +395,10 @@ int cmd_ingest(int argc, char** argv) {
     if (arg == "--threads") {
       const char* v = value();
       if (!parse_size(v, threads)) return bad_flag(arg, "bad thread count");
+    } else if (arg == "--kernel") {
+      if (!parse_kernel_flag(value(), kernel)) {
+        return bad_flag(arg, "bad kernel name");
+      }
     } else if (arg == "--trace-out") {
       const char* v = value();
       if (v == nullptr) return bad_flag(arg, "missing file argument");
@@ -409,6 +430,7 @@ int cmd_ingest(int argc, char** argv) {
   config.algo.lambda = lambda;
   config.algo.upsilon = upsilon;
   config.algo.threads = threads;
+  config.algo.kernel = kernel;
   config.expectation = probe_expectation(bytes);
 
   telem.arm();
@@ -501,6 +523,7 @@ int cmd_pipeline(int argc, char** argv) {
               retries = 3, threads = 1;
   double gamma0 = 0.002, crash_prob = 0.1, link_loss = 0.3, lambda = 80.0;
   std::uint64_t seed = 42;
+  spacefts::core::Kernel kernel = spacefts::core::Kernel::kAuto;
   TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -529,6 +552,10 @@ int cmd_pipeline(int argc, char** argv) {
       if (!parse_u64(value(), seed)) return bad_flag(arg, "bad value");
     } else if (arg == "--threads") {
       if (!parse_size(value(), threads)) return bad_flag(arg, "bad value");
+    } else if (arg == "--kernel") {
+      if (!parse_kernel_flag(value(), kernel)) {
+        return bad_flag(arg, "bad kernel name");
+      }
     } else if (arg == "--trace-out") {
       const char* v = value();
       if (v == nullptr) return bad_flag(arg, "missing file argument");
@@ -558,6 +585,7 @@ int cmd_pipeline(int argc, char** argv) {
   ic.expectation.width = static_cast<std::int64_t>(side);
   ic.expectation.height = static_cast<std::int64_t>(side);
   ic.algo.lambda = 0.0;
+  ic.algo.kernel = kernel;
   const spacefts::ingest::IngestGuard guard(ic);
   auto ingested = guard.ingest(spacefts::ingest::IngestGuard::pack(readouts));
   if (!ingested.ok) {
@@ -577,6 +605,7 @@ int cmd_pipeline(int argc, char** argv) {
   pc.link.faults.duplicate_prob = link_loss / 2.0;
   pc.link.faults.delay_prob = link_loss;
   pc.algo.lambda = lambda;
+  pc.algo.kernel = kernel;
   pc.threads = threads;
   pc.max_link_retries = retries;
 
@@ -738,6 +767,10 @@ int cmd_serve(int argc, char** argv) {
       if (!parse_size(value(), config.max_batch)) {
         return bad_flag(arg, "bad value");
       }
+    } else if (arg == "--kernel") {
+      if (!parse_kernel_flag(value(), config.exec.kernel)) {
+        return bad_flag(arg, "bad kernel name");
+      }
     } else if (arg == "--linger-ms") {
       if (!parse_double(value(), config.batch_linger_ms)) {
         return bad_flag(arg, "bad value");
@@ -897,6 +930,14 @@ int cmd_check(int argc, char** argv) {
         options.threads.push_back(count);
       }
       if (options.threads.empty()) return bad_flag(arg, "empty thread list");
+    } else if (arg == "--kernel") {
+      spacefts::core::Kernel kernel = spacefts::core::Kernel::kAuto;
+      if (!parse_kernel_flag(value(), kernel)) {
+        return bad_flag(arg, "bad kernel name");
+      }
+      // auto keeps the default cross-kernel sweep; an explicit variant
+      // narrows the diff families to that one kernel.
+      if (kernel != spacefts::core::Kernel::kAuto) options.kernels = {kernel};
     } else if (arg == "--corpus-out") {
       const char* v = value();
       if (v == nullptr) return bad_flag(arg, "missing file argument");
