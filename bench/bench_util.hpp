@@ -148,6 +148,51 @@ inline std::string preprocess_record_key(std::string_view line) {
 
 }  // namespace detail
 
+/// UTC wall-clock stamp ("2026-02-07T12:34:56Z") for trajectory records.
+inline std::string iso_timestamp_utc() {
+  std::tm tm{};
+  const std::time_t now = std::time(nullptr);
+  gmtime_r(&now, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return stamp;
+}
+
+/// Rewrites the JSONL file at \p path so it holds exactly one row per
+/// configuration, then appends \p line (which must end in '\n').  `key_of`
+/// maps a row to its configuration identity; among duplicates the newest
+/// row wins.  This is the shared upsert under every BENCH_*.json recorder —
+/// re-running a bench replaces its rows instead of accumulating them.
+inline void upsert_jsonl_record(
+    const std::string& line,
+    const std::function<std::string(std::string_view)>& key_of,
+    const char* path) {
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(path);
+    std::string row;
+    while (std::getline(in, row))
+      if (!row.empty()) lines.push_back(row);
+  }
+  const std::string new_key = key_of(line);
+  std::string text;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string key = key_of(lines[i]);
+    if (key == new_key) continue;
+    bool superseded = false;
+    for (std::size_t j = i + 1; j < lines.size() && !superseded; ++j)
+      superseded = key_of(lines[j]) == key;
+    if (!superseded) text += lines[i] + "\n";
+  }
+  text += line;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot rewrite %s\n", path);
+    return;
+  }
+  out << text;
+}
+
 /// Records one stack-preprocessing throughput measurement in \p path
 /// (default: BENCH_preprocess.json in the working directory):
 ///   {"bench": "stack_preprocess", "pixels_per_s": …, "threads": …,
@@ -170,41 +215,8 @@ inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
   jsonl::append_fmt(line, "%g", lambda);
   line += ", \"kernel\": \"" + jsonl::escape(kernel) + "\"";
   line += ", \"git_sha\": \"" + jsonl::escape(SPACEFTS_GIT_SHA) + "\"";
-  std::tm tm{};
-  const std::time_t now = std::time(nullptr);
-  gmtime_r(&now, &tm);
-  char stamp[32];
-  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &tm);
-  line += ", \"iso_timestamp\": \"";
-  line += stamp;
-  line += "\"}\n";
-
-  // Rewrite keeping the newest record per configuration: existing rows in
-  // order, minus any whose key matches a later row or the new record.
-  std::vector<std::string> lines;
-  {
-    std::ifstream in(path);
-    std::string row;
-    while (std::getline(in, row))
-      if (!row.empty()) lines.push_back(row);
-  }
-  const std::string new_key = detail::preprocess_record_key(line);
-  std::string text;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string key = detail::preprocess_record_key(lines[i]);
-    if (key == new_key) continue;
-    bool superseded = false;
-    for (std::size_t j = i + 1; j < lines.size() && !superseded; ++j)
-      superseded = detail::preprocess_record_key(lines[j]) == key;
-    if (!superseded) text += lines[i] + "\n";
-  }
-  text += line;
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "bench: cannot rewrite %s\n", path);
-    return;
-  }
-  out << text;
+  line += ", \"iso_timestamp\": \"" + iso_timestamp_utc() + "\"}\n";
+  upsert_jsonl_record(line, detail::preprocess_record_key, path);
 }
 
 /// Appends pre-rendered JSON-lines text to \p path, the shared accumulation

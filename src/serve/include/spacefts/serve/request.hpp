@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "spacefts/core/kernel.hpp"
+
 namespace spacefts::serve {
 
 /// Terminal status of one request.  `kOk` is the only status carrying a
@@ -58,6 +60,10 @@ struct JobSpec {
 /// One client request: a job plus its scheduling contract.
 struct Request {
   std::uint64_t id = 0;  ///< unique while the request is live
+  /// Stream affinity key: the router consistent-hashes this value to pick
+  /// a shard, so requests of one stream land on one shard (cache locality,
+  /// ordered degradation).  0 means "no stream" — the id routes instead.
+  std::uint64_t stream = 0;
   JobSpec job;
   int priority = 0;  ///< higher is served first
   /// Admission-to-start budget in milliseconds, relative to submit();
@@ -80,11 +86,18 @@ struct RequestResult {
   std::size_t ingress_bits_corrupted = 0;  ///< injected by the ingress link
   double coverage = 1.0;                   ///< dist pipeline fragment coverage
 
+  // ---- serving metadata (in the JSONL, but run-shape-dependent) --------
+  /// The kernel that actually ran (kAuto = not yet stamped; the server
+  /// resolves it when the result is recorded).
+  core::Kernel kernel = core::Kernel::kAuto;
+  std::uint32_t shard = 0;  ///< shard that resolved the request
+
   // ---- timing (wall clock; excluded from the deterministic JSONL) ------
   double queue_wait_ms = 0.0;  ///< admission to batch formation
   double service_ms = 0.0;     ///< compute time inside the batch
   double e2e_ms = 0.0;         ///< admission to completion
   std::size_t batch_size = 0;  ///< size of the batch that served it
+  std::size_t replays = 0;     ///< router re-submissions after shard death
 
   std::string error;  ///< non-empty iff status == kFailed
 };

@@ -33,6 +33,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -57,6 +58,19 @@ struct ServerConfig {
   /// Bounded time submit() may wait for queue room; 0 = pure
   /// reject-on-full (load shedding).
   double admission_timeout_ms = 0.0;
+  /// Optional hook run on the serving worker immediately before each
+  /// request's compute (skipped for cancelled/expired entries).  The
+  /// sharded router injects chaos (stall/slowdown windows) here, and the
+  /// serve bench models a constant per-request service floor; plain
+  /// deployments leave it empty.
+  std::function<void(const Request&)> pre_execute;
+  /// When false, a submit() rejected at admission (kShed / kShutdown)
+  /// records *no* result — the caller owns the accounting.  The sharded
+  /// router disables recording so it can spill a rejected request to
+  /// another shard without a duplicate result appearing later.  Ingress
+  /// kLost outcomes are always recorded (they are terminal fates, not
+  /// admission rejections).
+  bool record_rejects = true;
   ExecContext exec{};  ///< per-batch execution knobs + ingress fault model
 };
 
@@ -120,6 +134,8 @@ class Server {
 
   [[nodiscard]] ServerStats stats() const;
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Accepted requests not yet retired (queued or in flight).
+  [[nodiscard]] std::size_t outstanding() const;
   [[nodiscard]] const ServerConfig& config() const noexcept { return config_; }
 
  private:
@@ -136,6 +152,7 @@ class Server {
 
   ServerConfig config_;
   fault::MessageFaultModel ingress_model_;
+  core::Kernel resolved_kernel_;  ///< stamped into every recorded result
   std::chrono::steady_clock::time_point epoch_;
   BoundedQueue queue_;
 

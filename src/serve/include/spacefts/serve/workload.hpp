@@ -32,6 +32,10 @@ struct WorkloadSpec {
   std::size_t requests = 200;
   double rate_hz = 200.0;  ///< Poisson arrival rate (open loop)
   std::uint64_t seed = 42;
+  /// Number of distinct client streams the requests belong to (round-robin
+  /// assignment; the router shards by stream).  0 = no stream affinity:
+  /// every request routes by its own id.
+  std::size_t streams = 0;
   double otis_fraction = 0.25;     ///< mix of OTIS cube jobs
   double pipeline_fraction = 0.0;  ///< NGST jobs that run the dist pipeline
   std::size_t ngst_side = 32;
@@ -67,7 +71,11 @@ struct WorkloadItem {
 /// The deterministic per-request result file: sorted by id, timing fields
 /// excluded, one JSON line per request.  Byte-identical across server
 /// thread counts for any workload whose statuses are load-independent
-/// (no finite deadlines, non-shedding admission).
+/// (no finite deadlines, non-shedding admission).  The trailing kernel and
+/// shard fields are serving metadata: identical across thread counts, but
+/// shard assignments (and hence those fields) legitimately differ across
+/// *shard* counts — strip them before comparing runs of different
+/// topologies (`sed -E 's/,"kernel":"[a-z0-9]*","shard":[0-9]+//'`).
 [[nodiscard]] std::string results_to_jsonl(std::vector<RequestResult> results);
 
 }  // namespace spacefts::serve

@@ -182,9 +182,11 @@ RequestResult execute_job(const Request& request, bool corrupt_ingress,
                  {"id", static_cast<double>(request.id)},
                  {"priority", static_cast<double>(request.priority)});
   try {
-    return request.job.kind == JobKind::kNgst
-               ? execute_ngst(request, corrupt_ingress, ctx)
-               : execute_otis(request, corrupt_ingress, ctx);
+    RequestResult result = request.job.kind == JobKind::kNgst
+                               ? execute_ngst(request, corrupt_ingress, ctx)
+                               : execute_otis(request, corrupt_ingress, ctx);
+    result.kernel = core::resolve_kernel(ctx.kernel);
+    return result;
   } catch (const std::exception& e) {
     RequestResult result;
     result.id = request.id;

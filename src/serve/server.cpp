@@ -37,6 +37,7 @@ struct Server::Batch {
 Server::Server(const ServerConfig& config)
     : config_(config),
       ingress_model_(config.exec.ingress),  // validates the fault config
+      resolved_kernel_(core::resolve_kernel(config.exec.kernel)),
       epoch_(std::chrono::steady_clock::now()),
       queue_(config.capacity) {
   if (config_.max_batch == 0) {
@@ -106,6 +107,7 @@ ServeStatus Server::submit(const Request& request) {
       result.id = request.id;
       result.kind = request.job.kind;
       result.status = ServeStatus::kLost;
+      result.kernel = resolved_kernel_;
       live_.erase(request.id);
       results_.push_back(std::move(result));
       return ServeStatus::kLost;
@@ -131,15 +133,18 @@ ServeStatus Server::submit(const Request& request) {
     const ServeStatus status = admitted == ServeStatus::kShutdown
                                    ? ServeStatus::kShutdown
                                    : ServeStatus::kShed;
-    if (status == ServeStatus::kShed) {
-      ++stats_.shed;
-      telemetry::counter("serve.shed").add();
+    if (config_.record_rejects) {
+      if (status == ServeStatus::kShed) {
+        ++stats_.shed;
+        telemetry::counter("serve.shed").add();
+      }
+      RequestResult result;
+      result.id = request.id;
+      result.kind = request.job.kind;
+      result.status = status;
+      result.kernel = resolved_kernel_;
+      results_.push_back(std::move(result));
     }
-    RequestResult result;
-    result.id = request.id;
-    result.kind = request.job.kind;
-    result.status = status;
-    results_.push_back(std::move(result));
     idle_cv_.notify_all();
     return status;
   }
@@ -162,6 +167,7 @@ bool Server::cancel(std::uint64_t id) {
 }
 
 void Server::record(RequestResult result) {
+  if (result.kernel == core::Kernel::kAuto) result.kernel = resolved_kernel_;
   {
     std::lock_guard lock(mutex_);
     switch (result.status) {
@@ -246,6 +252,7 @@ void Server::execute_batch(Batch& batch) {
                          {"id", static_cast<double>(request.id)});
     } else {
       const double start_ms = now_ms();
+      if (config_.pre_execute) config_.pre_execute(request);
       result = execute_job(request, state.corrupt_ingress, config_.exec);
       result.service_ms = now_ms() - start_ms;
     }
@@ -308,6 +315,11 @@ std::vector<RequestResult> Server::take_results() {
 ServerStats Server::stats() const {
   std::lock_guard lock(mutex_);
   return stats_;
+}
+
+std::size_t Server::outstanding() const {
+  std::lock_guard lock(mutex_);
+  return outstanding_;
 }
 
 }  // namespace spacefts::serve

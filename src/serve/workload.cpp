@@ -98,6 +98,9 @@ std::vector<WorkloadItem> generate_workload(const WorkloadSpec& spec) {
     item.arrival_s = clock_s;
     Request& req = item.request;
     req.id = i;
+    // Stream ids start at 1 so 0 keeps meaning "no affinity" in the wire
+    // format (and for hand-written workload files omitting the field).
+    req.stream = spec.streams > 0 ? 1 + (i % spec.streams) : 0;
     req.priority = static_cast<int>(
         mix.below(static_cast<std::uint64_t>(spec.priority_levels)));
     req.deadline_ms = spec.deadline_ms;
@@ -130,6 +133,7 @@ std::string to_jsonl(const std::vector<WorkloadItem>& items) {
     const Request& req = item.request;
     const JobSpec& job = req.job;
     out += "{\"id\":" + std::to_string(req.id);
+    out += ",\"stream\":" + std::to_string(req.stream);
     append_fmt(out, ",\"arrival_s\":%.10g", item.arrival_s);
     out += ",\"kind\":\"";
     out += to_string(job.kind);
@@ -172,6 +176,8 @@ std::vector<WorkloadItem> parse_workload_jsonl(std::string_view text) {
     std::string token;
 
     if (!find_u64(line, "id", req.id)) fail("bad id");
+    // Optional for workload files committed before stream affinity existed.
+    if (!find_u64(line, "stream", req.stream)) req.stream = 0;
     if (!find_number(line, "arrival_s", item.arrival_s)) fail("bad arrival_s");
     if (!find_token(line, "kind", token)) fail("missing kind");
     if (token == "\"ngst\"") {
@@ -221,6 +227,9 @@ std::string results_to_jsonl(std::vector<RequestResult> results) {
     out += ",\"bits_corrected\":" + std::to_string(r.bits_corrected);
     out += ",\"ingress_bits\":" + std::to_string(r.ingress_bits_corrupted);
     append_fmt(out, ",\"coverage\":%.10g", r.coverage);
+    out += ",\"kernel\":\"";
+    out += core::kernel_name(r.kernel);
+    out += "\",\"shard\":" + std::to_string(r.shard);
     out += "}\n";
   }
   return out;

@@ -161,6 +161,48 @@ TEST(BoundedQueue, CollectBatchLingerPicksUpLateArrival) {
   EXPECT_EQ(batch.size(), 1u);
 }
 
+TEST(BoundedQueue, CloseRacesWithProducersAndConsumers) {
+  // Producers hammer push() while consumers pop and the queue closes under
+  // them: every admitted entry must be popped exactly once, every refused
+  // push must be a typed kShed/kShutdown, and nobody may deadlock.  Run
+  // under TSAN this is the queue's data-race certificate.
+  ss::BoundedQueue queue(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  std::atomic<int> ok{0}, shed{0}, shutdown{0}, popped{0};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        switch (queue.push(entry_with(i % 3, kInf))) {
+          case ss::ServeStatus::kOk: ++ok; break;
+          case ss::ServeStatus::kShed: ++shed; break;
+          case ss::ServeStatus::kShutdown: ++shutdown; break;
+          default: FAIL() << "unexpected push status";
+        }
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 2; ++t) {
+    consumers.emplace_back([&] {
+      // Runs until the queue is closed *and* empty, so the consumers
+      // between them retire every admitted entry.
+      while (queue.pop_best().has_value()) ++popped;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  queue.close();
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(ok + shed + shutdown, kProducers * kPerProducer);
+  EXPECT_EQ(popped.load(), ok.load());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_TRUE(queue.closed());
+}
+
 // --------------------------------------------------------------- server ---
 
 TEST(Server, ValidatesConfig) {
@@ -407,6 +449,81 @@ TEST(Server, IngressDropsAreDeterministicAndAccounted) {
     }
   }
   EXPECT_EQ(lost_a, lost_b);
+}
+
+TEST(Server, CancellationRacesWithExecution) {
+  // Cancel every id from other threads while the workers are serving: each
+  // request must resolve exactly once as kOk (compute won) or kCancelled
+  // (cancel won) — never both, never neither.
+  ss::ServerConfig config;
+  config.capacity = 256;
+  config.workers = 2;
+  config.max_batch = 4;
+  ss::Server server(config);
+
+  constexpr std::uint64_t kCount = 96;
+  for (std::uint64_t id = 1; id <= kCount; ++id)
+    ASSERT_EQ(server.submit(small_ngst(id)), ss::ServeStatus::kOk);
+  std::thread evens([&] {
+    for (std::uint64_t id = 2; id <= kCount; id += 2) (void)server.cancel(id);
+  });
+  std::thread odds([&] {
+    for (std::uint64_t id = 1; id <= kCount; id += 2) (void)server.cancel(id);
+  });
+  evens.join();
+  odds.join();
+  server.wait_idle();
+  server.drain();
+
+  const auto results = server.take_results();
+  ASSERT_EQ(results.size(), kCount);
+  std::set<std::uint64_t> ids;
+  for (const auto& r : results) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate result id " << r.id;
+    EXPECT_TRUE(r.status == ss::ServeStatus::kOk ||
+                r.status == ss::ServeStatus::kCancelled)
+        << ss::to_string(r.status);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed + stats.cancelled, kCount);
+}
+
+TEST(Server, DrainRacesWithSubmitters) {
+  // Drain while submitters are mid-flight: every submit must come back
+  // with a typed status, every status must have a matching result record,
+  // and the drain must not deadlock against the producers.
+  ss::ServerConfig config;
+  config.capacity = 16;
+  config.workers = 2;
+  config.max_batch = 4;
+  ss::Server server(config);
+
+  constexpr int kThreads = 3;
+  constexpr std::uint64_t kPerThread = 60;
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id = 1 + t * kPerThread + i;
+        (void)server.submit(small_ngst(id));
+        ++submitted;
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  server.drain();
+  for (auto& t : submitters) t.join();
+  server.drain();  // flush anything admitted after the first drain began
+
+  // record_rejects defaults to true, so kOk, kShed, and kShutdown fates
+  // all leave a record: exactly one result per submission.
+  const auto results = server.take_results();
+  EXPECT_EQ(results.size(), submitted.load());
+  std::set<std::uint64_t> ids;
+  for (const auto& r : results) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate result id " << r.id;
+  }
 }
 
 // ------------------------------------------------------------- workload ---

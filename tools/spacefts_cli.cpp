@@ -81,6 +81,7 @@
 #include "spacefts/fits/sanity.hpp"
 #include "spacefts/ingest/guard.hpp"
 #include "spacefts/metrics/error.hpp"
+#include "spacefts/serve/router.hpp"
 #include "spacefts/serve/server.hpp"
 #include "spacefts/serve/workload.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
@@ -127,13 +128,16 @@ constexpr VerbHelp kVerbHelp[] = {
      "  spacefts_cli serve [--replay file | --requests N --rate X"
      " [--otis-frac X]\n"
      "                [--pipeline-frac X] [--deadline-ms X] [--priorities N]"
-     " [--seed S]]\n"
+     " [--seed S]\n"
+     "                [--streams N]]\n"
      "                [--capacity N] [--threads N] [--batch N]"
      " [--linger-ms X]\n"
      "                [--admit-wait-ms X] [--pace] [--ingress-drop X]"
      " [--ingress-corrupt X]\n"
-     "                [--results-out file] [--workload-out file]"
-     " [--gen-only]\n"
+     "                [--shards N] [--shard-kill I@C]"
+     " [--shard-crash X] [--shard-stall X]\n"
+     "                [--shard-slow X] [--results-out file]"
+     " [--workload-out file] [--gen-only]\n"
      "                [--kernel auto|scalar|swar|avx2]\n"},
     {"check",
      "  spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]\n"
@@ -708,9 +712,26 @@ int cmd_campaign(int argc, char** argv) {
   return telem_rc;
 }
 
+/// Parses a --shard-kill operand of the form "I@C": kill shard I once the
+/// router has recorded C results.
+bool parse_shard_kill(const char* text, std::size_t& shard,
+                      std::uint64_t& after) {
+  if (text == nullptr) return false;
+  const std::string token(text);
+  const auto at = token.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 == token.size()) {
+    return false;
+  }
+  return parse_size(token.substr(0, at).c_str(), shard) &&
+         parse_u64(token.substr(at + 1).c_str(), after);
+}
+
 int cmd_serve(int argc, char** argv) {
   std::string replay_path, results_out, workload_out;
   bool gen_only = false, pace = false;
+  std::size_t shards = 0;  ///< 0 = classic single-server path
+  std::vector<std::pair<std::size_t, std::uint64_t>> shard_kills;
+  spacefts::fault::ShardFaultConfig chaos;
   spacefts::serve::WorkloadSpec spec;
   spacefts::serve::ServerConfig config;
   // Replay defaults favour determinism: a bounded admission wait long
@@ -755,6 +776,34 @@ int cmd_serve(int argc, char** argv) {
         return bad_flag(arg, "bad value");
       }
       spec.priority_levels = static_cast<int>(levels);
+    } else if (arg == "--streams") {
+      if (!parse_size(value(), spec.streams)) return bad_flag(arg, "bad value");
+    } else if (arg == "--shards") {
+      if (!parse_size(value(), shards) || shards == 0) {
+        return bad_flag(arg, "must be a positive shard count");
+      }
+    } else if (arg == "--shard-kill") {
+      std::size_t victim = 0;
+      std::uint64_t after = 0;
+      if (!parse_shard_kill(value(), victim, after)) {
+        return bad_flag(arg, "expected SHARD@RESULT_COUNT (e.g. 1@50)");
+      }
+      shard_kills.emplace_back(victim, after);
+    } else if (arg == "--shard-crash") {
+      if (!parse_double(value(), chaos.crash_prob) || chaos.crash_prob < 0.0 ||
+          chaos.crash_prob > 1.0) {
+        return bad_flag(arg, "probability outside [0, 1]");
+      }
+    } else if (arg == "--shard-stall") {
+      if (!parse_double(value(), chaos.stall_prob) || chaos.stall_prob < 0.0 ||
+          chaos.stall_prob > 1.0) {
+        return bad_flag(arg, "probability outside [0, 1]");
+      }
+    } else if (arg == "--shard-slow") {
+      if (!parse_double(value(), chaos.slow_prob) || chaos.slow_prob < 0.0 ||
+          chaos.slow_prob > 1.0) {
+        return bad_flag(arg, "probability outside [0, 1]");
+      }
     } else if (arg == "--capacity") {
       if (!parse_size(value(), config.capacity)) {
         return bad_flag(arg, "bad value");
@@ -819,6 +868,22 @@ int cmd_serve(int argc, char** argv) {
   if (gen_only && !replay_path.empty()) {
     return bad_flag("--gen-only", "incompatible with --replay");
   }
+  if (shards == 0 && !shard_kills.empty()) {
+    return bad_flag("--shard-kill", "requires --shards");
+  }
+  if (shards == 0 && !chaos.perfect()) {
+    return bad_flag("--shard-crash/--shard-stall/--shard-slow",
+                    "require --shards");
+  }
+  for (const auto& [victim, after] : shard_kills) {
+    (void)after;
+    if (victim >= shards) {
+      return bad_flag("--shard-kill", "shard index out of range");
+    }
+  }
+  if (shards > 0 && config.workers == 0) {
+    return bad_flag("--threads", "must be > 0 with --shards");
+  }
 
   // Obtain the workload: replay a committed file or generate in-process.
   std::vector<spacefts::serve::WorkloadItem> items;
@@ -847,26 +912,98 @@ int cmd_serve(int argc, char** argv) {
   if (gen_only) return 0;
 
   telem.arm();
-  spacefts::serve::Server server(config);
+  std::vector<spacefts::serve::RequestResult> results;
   const auto start = std::chrono::steady_clock::now();
-  for (const auto& item : items) {
-    if (pace) {
-      // Open-loop arrival process: honour the workload's timestamps.
-      const auto due =
-          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                      std::chrono::duration<double>(item.arrival_s));
-      std::this_thread::sleep_until(due);
+  const auto submit_all = [&](auto& sink) {
+    for (const auto& item : items) {
+      if (pace) {
+        // Open-loop arrival process: honour the workload's timestamps.
+        const auto due =
+            start +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(item.arrival_s));
+        std::this_thread::sleep_until(due);
+      }
+      (void)sink.submit(item.request);
     }
-    (void)server.submit(item.request);
-  }
-  server.wait_idle();
-  server.drain();
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  };
 
-  const auto stats = server.stats();
-  auto results = server.take_results();
+  if (shards > 0) {
+    spacefts::serve::RouterConfig rc;
+    rc.shards = shards;
+    rc.shard = config;
+    rc.chaos = chaos;
+    spacefts::serve::Router router(rc);
+    for (const auto& [victim, after] : shard_kills) {
+      router.schedule_kill(victim, after);
+    }
+    submit_all(router);
+    router.wait_idle();
+    router.drain();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const auto stats = router.stats();
+    results = router.take_results();
+    std::printf(
+        "serve: %llu submitted across %zu shards in %.3fs (%.1f req/s)\n"
+        "  accepted %llu, completed %llu, shed %llu, lost %llu\n"
+        "  cancelled %llu, expired %llu, failed %llu\n"
+        "  replays %llu, spills %llu, ejections %llu, readmissions %llu,"
+        " kills %llu, stale %llu\n",
+        static_cast<unsigned long long>(stats.submitted), shards, wall_s,
+        wall_s > 0.0 ? static_cast<double>(stats.submitted) / wall_s : 0.0,
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.lost),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.expired),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.replays),
+        static_cast<unsigned long long>(stats.spills),
+        static_cast<unsigned long long>(stats.ejections),
+        static_cast<unsigned long long>(stats.readmissions),
+        static_cast<unsigned long long>(stats.kills),
+        static_cast<unsigned long long>(stats.stale_results));
+    for (std::size_t i = 0; i < shards; ++i) {
+      const auto snap = router.shard(i);
+      std::printf("  shard %zu: %s epoch %llu, completed %llu, ejections"
+                  " %llu\n",
+                  i, spacefts::serve::to_string(snap.state),
+                  static_cast<unsigned long long>(snap.epoch),
+                  static_cast<unsigned long long>(snap.completed),
+                  static_cast<unsigned long long>(snap.ejections));
+    }
+  } else {
+    spacefts::serve::Server server(config);
+    submit_all(server);
+    server.wait_idle();
+    server.drain();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const auto stats = server.stats();
+    results = server.take_results();
+    std::printf(
+        "serve: %llu submitted in %.3fs (%.1f req/s offered)\n"
+        "  accepted %llu, completed %llu, shed %llu, lost %llu\n"
+        "  cancelled %llu, expired %llu, failed %llu, batches %llu\n"
+        "  ingress corrupted %llu, ingress duplicates %llu\n",
+        static_cast<unsigned long long>(stats.submitted), wall_s,
+        wall_s > 0.0 ? static_cast<double>(stats.submitted) / wall_s : 0.0,
+        static_cast<unsigned long long>(stats.accepted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.lost),
+        static_cast<unsigned long long>(stats.cancelled),
+        static_cast<unsigned long long>(stats.expired),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.batches),
+        static_cast<unsigned long long>(stats.ingress_corrupted),
+        static_cast<unsigned long long>(stats.ingress_duplicates));
+  }
+
   if (!results_out.empty()) {
     std::ofstream out(results_out, std::ios::trunc);
     if (!out) {
@@ -876,23 +1013,6 @@ int cmd_serve(int argc, char** argv) {
     out << spacefts::serve::results_to_jsonl(std::move(results));
     std::printf("wrote results %s\n", results_out.c_str());
   }
-  std::printf(
-      "serve: %llu submitted in %.3fs (%.1f req/s offered)\n"
-      "  accepted %llu, completed %llu, shed %llu, lost %llu\n"
-      "  cancelled %llu, expired %llu, failed %llu, batches %llu\n"
-      "  ingress corrupted %llu, ingress duplicates %llu\n",
-      static_cast<unsigned long long>(stats.submitted), wall_s,
-      wall_s > 0.0 ? static_cast<double>(stats.submitted) / wall_s : 0.0,
-      static_cast<unsigned long long>(stats.accepted),
-      static_cast<unsigned long long>(stats.completed),
-      static_cast<unsigned long long>(stats.shed),
-      static_cast<unsigned long long>(stats.lost),
-      static_cast<unsigned long long>(stats.cancelled),
-      static_cast<unsigned long long>(stats.expired),
-      static_cast<unsigned long long>(stats.failed),
-      static_cast<unsigned long long>(stats.batches),
-      static_cast<unsigned long long>(stats.ingress_corrupted),
-      static_cast<unsigned long long>(stats.ingress_duplicates));
   // kFailed requests (e.g. ingress corruption the sanity layer could not
   // repair) are deterministic served outcomes recorded in the results, not
   // operational errors of the CLI run.
