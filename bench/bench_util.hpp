@@ -7,6 +7,7 @@
 /// helpers here keep each bench to its experiment-specific sweep.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <ctime>
@@ -147,6 +148,15 @@ inline std::string preprocess_record_key(std::string_view line) {
 }
 
 }  // namespace detail
+
+/// Bench-hygiene guard for values destined for a BENCH_*.json row: a NaN
+/// or (for inherently non-negative metrics) negative reading means the
+/// harness is broken, and silently committing it would poison every
+/// downstream comparison — recorders must refuse the whole row instead.
+/// Pass signed_ok for metrics that are legitimately signed differences.
+inline bool valid_metric(double value, bool signed_ok = false) {
+  return std::isfinite(value) && (signed_ok || value >= 0.0);
+}
 
 /// UTC wall-clock stamp ("2026-02-07T12:34:56Z") for trajectory records.
 inline std::string iso_timestamp_utc() {

@@ -1,0 +1,325 @@
+#include "spacefts/control/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "spacefts/telemetry/jsonl.hpp"
+
+namespace spacefts::control {
+namespace {
+
+/// Highest Λ grid level the config admits.
+int level_cap(const ControlConfig& cfg) {
+  return static_cast<int>(
+      std::floor((cfg.lambda_max - cfg.lambda_min) / cfg.lambda_step));
+}
+
+int snap_level(const ControlConfig& cfg, double lambda) {
+  const double raw = (lambda - cfg.lambda_min) / cfg.lambda_step;
+  const int level = static_cast<int>(std::floor(raw + 0.5));
+  return std::clamp(level, 0, level_cap(cfg));
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("control: ") + what);
+}
+
+}  // namespace
+
+void validate_config(const ControlConfig& cfg) {
+  require(core::is_valid_sensitivity(cfg.lambda_min) &&
+              core::is_valid_sensitivity(cfg.lambda_max) &&
+              cfg.lambda_min <= cfg.lambda_max,
+          "lambda bounds must satisfy 0 <= lambda_min <= lambda_max <= 100");
+  require(cfg.lambda_step > 0.0 && std::isfinite(cfg.lambda_step),
+          "lambda_step must be > 0");
+  require(core::is_valid_sensitivity(cfg.lambda_initial) &&
+              cfg.lambda_initial >= cfg.lambda_min &&
+              cfg.lambda_initial <= cfg.lambda_max,
+          "lambda_initial outside [lambda_min, lambda_max]");
+  require(cfg.upsilon_min >= 2 && cfg.upsilon_min % 2 == 0,
+          "upsilon_min must be even and >= 2");
+  require(cfg.upsilon_max >= cfg.upsilon_min && cfg.upsilon_max % 2 == 0,
+          "upsilon_max must be even and >= upsilon_min");
+  require(cfg.upsilon_initial >= cfg.upsilon_min &&
+              cfg.upsilon_initial <= cfg.upsilon_max &&
+              cfg.upsilon_initial % 2 == 0,
+          "upsilon_initial outside [upsilon_min, upsilon_max] or odd");
+  require(cfg.window >= 1, "window must be >= 1");
+  require(cfg.lag >= 1, "lag must be >= 1");
+  require(cfg.ewma_halflife > 0.0 && std::isfinite(cfg.ewma_halflife),
+          "ewma_halflife must be > 0");
+  require(cfg.activity_low >= 0.0 && cfg.activity_high > cfg.activity_low,
+          "activity thresholds must satisfy 0 <= low < high");
+  require(cfg.veto_cap >= 0.0 && cfg.veto_cap <= 1.0 &&
+              cfg.veto_high >= cfg.veto_cap && cfg.veto_high <= 1.0,
+          "veto thresholds must satisfy 0 <= cap <= high <= 1");
+  require(cfg.pressure_low > 0.0 && cfg.pressure_high > cfg.pressure_low,
+          "pressure thresholds must satisfy 0 < low < high");
+  require(cfg.deadline_budget_ms > 0.0 && std::isfinite(cfg.deadline_budget_ms),
+          "deadline_budget_ms must be > 0");
+  require(cfg.cost_base_ns_per_pix >= 0.0 && cfg.cost_voter_ns_per_pix >= 0.0,
+          "cost model coefficients must be >= 0");
+}
+
+const char* to_string(Action action) noexcept {
+  switch (action) {
+    case Action::kHold:
+      return "hold";
+    case Action::kRaise:
+      return "raise";
+    case Action::kRelax:
+      return "relax";
+    case Action::kShedPrecision:
+      return "shed_precision";
+  }
+  return "hold";
+}
+
+core::OperatingPoint point_at(const ControlConfig& cfg, int level,
+                              std::size_t upsilon, bool pressed) {
+  core::OperatingPoint point;
+  point.lambda = std::min(
+      cfg.lambda_min + static_cast<double>(level) * cfg.lambda_step,
+      cfg.lambda_max);
+  point.upsilon = upsilon;
+  point.max_batch = pressed ? cfg.batch_pressed : cfg.batch_calm;
+  return point;
+}
+
+double virtual_cost_ms(const ControlConfig& cfg, std::size_t pixels,
+                       const core::OperatingPoint& point) {
+  const double per_pixel_ns =
+      cfg.cost_base_ns_per_pix +
+      cfg.cost_voter_ns_per_pix * static_cast<double>(point.upsilon) *
+          core::window_b_fraction(point.lambda);
+  return static_cast<double>(pixels) * per_pixel_ns * 1e-6;
+}
+
+core::OperatingPoint fit_budget(const ControlConfig& cfg,
+                                std::size_t pixels) {
+  validate_config(cfg);
+  const double budget = cfg.pressure_high * cfg.deadline_budget_ms;
+  const auto fits = [&](int level, std::size_t upsilon) {
+    return virtual_cost_ms(cfg, pixels,
+                           point_at(cfg, level, upsilon, false)) <= budget;
+  };
+  // Walk the controller's own raise order so the open-loop fit lands on the
+  // closed loop's steady state: Λ climbs at nominal Υ first, and only at
+  // the Λ ceiling does surplus budget buy extra voter ways.
+  std::size_t upsilon =
+      fits(0, cfg.upsilon_initial) ? cfg.upsilon_initial : cfg.upsilon_min;
+  if (!fits(0, upsilon)) {
+    // Even the floor misses the budget: precision sheds, requests do not.
+    return point_at(cfg, 0, cfg.upsilon_min, false);
+  }
+  int level = 0;
+  while (level < level_cap(cfg) && fits(level + 1, upsilon)) ++level;
+  if (level == level_cap(cfg)) {
+    while (upsilon + 2 <= cfg.upsilon_max && fits(level, upsilon + 2)) {
+      upsilon += 2;
+    }
+  }
+  return point_at(cfg, level, upsilon, false);
+}
+
+namespace {
+
+/// Per-pixel virtual cost of a point — pixels cancel out of the pressure
+/// projection, so decide() needs no knowledge of the job shape.
+double per_pixel_cost(const ControlConfig& cfg,
+                      const core::OperatingPoint& point) {
+  return cfg.cost_base_ns_per_pix +
+         cfg.cost_voter_ns_per_pix * static_cast<double>(point.upsilon) *
+             core::window_b_fraction(point.lambda);
+}
+
+/// Feed-forward pressure check: projected virtual cost of `next` at the
+/// stream's observed load, against the shed threshold.  Using the load EWMA
+/// (not the pressure EWMA, which trails the applied point by the feedback
+/// lag) means a fast climb stops exactly at the strongest sustainable point
+/// instead of overshooting and shed-cascading a lag later.
+bool raise_fits(const ControllerState& state, const ControlConfig& cfg,
+                const core::OperatingPoint& next) {
+  return state.signals.load_mpix * per_pixel_cost(cfg, next) <=
+         cfg.pressure_high * cfg.deadline_budget_ms;
+}
+
+}  // namespace
+
+Action decide(ControllerState& state, const ControlConfig& cfg) {
+  const Signals& s = state.signals;
+  Action action = Action::kHold;
+
+  // Dwell: a downward step must be observed through the loop (window + lag
+  // observations) before the next one, or the controller chases its own
+  // transient.  Raising is exempt from the dwell — reacting slowly to a
+  // fault burst is the one direction where hysteresis costs science, so the
+  // loop has fast attack and slow decay; chatter is excluded by the banded
+  // thresholds (activity_low < activity_high, veto_cap < veto_high), which
+  // keep raise and relax conditions disjoint.
+  const bool dwelling = state.hold_remaining > 0;
+  if (dwelling) --state.hold_remaining;
+
+  if (s.pressure > cfg.pressure_high) {
+    // Deadline pressure outranks everything: a loop that misses deadlines
+    // protects nothing.  Shed in the relax order — surplus voter ways back
+    // to nominal first (they are the steepest cost term), then Λ, then the
+    // last ways — so an overload never strands a hot Υ on a gutted Λ.
+    if (dwelling) {
+      // fall through to the epoch bookkeeping
+    } else if (state.upsilon > cfg.upsilon_initial) {
+      state.upsilon -= 2;
+      action = Action::kShedPrecision;
+    } else if (state.level > 0) {
+      --state.level;
+      action = Action::kShedPrecision;
+    } else if (state.upsilon > cfg.upsilon_min) {
+      state.upsilon -= 2;
+      action = Action::kShedPrecision;
+    }
+  } else if (s.pressure < cfg.pressure_low) {
+    // Only a clearly calm loop may spend more: the (low, high) band is the
+    // pressure hysteresis.
+    const bool false_alarm_storm = s.veto_ratio > cfg.veto_high;
+    if (!false_alarm_storm && s.activity > cfg.activity_high &&
+        s.veto_ratio <= cfg.veto_cap) {
+      if (state.level < level_cap(cfg)) {
+        const auto next = point_at(cfg, state.level + 1, state.upsilon, false);
+        if (raise_fits(state, cfg, next)) {
+          ++state.level;
+          action = Action::kRaise;
+        }
+      } else if (state.upsilon < cfg.upsilon_max) {
+        const auto next = point_at(cfg, state.level, state.upsilon + 2, false);
+        if (raise_fits(state, cfg, next)) {
+          state.upsilon += 2;
+          action = Action::kRaise;
+        }
+      }
+    } else if (dwelling) {
+      // downward steps wait out the dwell
+    } else if (false_alarm_storm || s.activity < cfg.activity_low) {
+      // Quiet stream (or pseudo-corrections dominating): back off toward
+      // the nominal Υ first, then the Λ floor — on clean data a hotter
+      // point only buys false alarms and compute.
+      if (state.upsilon > cfg.upsilon_initial) {
+        state.upsilon -= 2;
+        action = Action::kRelax;
+      } else if (state.level > 0) {
+        --state.level;
+        action = Action::kRelax;
+      } else if (state.upsilon > cfg.upsilon_min) {
+        state.upsilon -= 2;
+        action = Action::kRelax;
+      }
+    }
+  }
+
+  // Only downward steps arm the dwell — see the asymmetry note above.
+  if (action == Action::kRelax || action == Action::kShedPrecision) {
+    state.hold_remaining = cfg.hold;
+  }
+  ++state.epochs;
+  return action;
+}
+
+SensitivityController::SensitivityController(ControlConfig cfg,
+                                             std::uint64_t stream)
+    : cfg_(cfg), stream_(stream) {
+  validate_config(cfg_);
+  state_.level = snap_level(cfg_, cfg_.lambda_initial);
+  state_.upsilon = cfg_.upsilon_initial;
+  ewma_alpha_ = 1.0 - std::exp2(-1.0 / cfg_.ewma_halflife);
+  schedule_.push_back(
+      Epoch{0, point_at(cfg_, state_.level, state_.upsilon, false)});
+}
+
+void SensitivityController::fold(const Observation& obs) {
+  if (obs.completed && obs.pixels > 0) {
+    Signals& s = state_.signals;
+    const double mpix = static_cast<double>(obs.pixels) * 1e-6;
+    // Corrected *pixels*, not bits: pixel corrections include the
+    // distributed pipeline's repairs — the part of the signal that actually
+    // tracks the memory fault rate Γ₀ — while the bit tally is dominated by
+    // the ingest stage's constant background and would mask the drift.
+    const double activity =
+        static_cast<double>(obs.pixels_corrected) / mpix;
+    s.activity += ewma_alpha_ * (activity - s.activity);
+    const double detections = static_cast<double>(obs.pixels_vetoed) +
+                              static_cast<double>(obs.pixels_corrected);
+    if (detections > 0.0) {
+      const double veto = static_cast<double>(obs.pixels_vetoed) / detections;
+      s.veto_ratio += ewma_alpha_ * (veto - s.veto_ratio);
+    }
+    const double pressure = obs.cost_ms / cfg_.deadline_budget_ms;
+    s.pressure += ewma_alpha_ * (pressure - s.pressure);
+    s.load_mpix += ewma_alpha_ * (mpix - s.load_mpix);
+  }
+
+  const std::uint64_t seq = state_.folds;  // the observation just folded
+  ++state_.folds;
+
+  if (state_.folds % cfg_.window == 0) {
+    const Action action = decide(state_, cfg_);
+    const bool pressed = state_.signals.pressure > cfg_.pressure_low;
+    const core::OperatingPoint point =
+        point_at(cfg_, state_.level, state_.upsilon, pressed);
+    // The fresh point governs from the seq this fold schedules: seq + lag.
+    schedule_.push_back(Epoch{seq + cfg_.lag, point});
+    Decision record;
+    record.stream = stream_;
+    record.epoch = state_.epochs - 1;
+    record.first_seq = seq + cfg_.lag;
+    record.action = action;
+    record.point = point;
+    record.signals = state_.signals;
+    decisions_.push_back(record);
+  }
+}
+
+core::OperatingPoint SensitivityController::point_for(
+    std::uint64_t seq) const {
+  if (seq >= ready_through()) {
+    throw std::out_of_range(
+        "control: operating point not yet scheduled for this seq");
+  }
+  // Last schedule entry whose first_seq <= seq (the schedule is append-only
+  // and first_seq-monotone, so this is a reverse scan of a short vector).
+  for (auto it = schedule_.rbegin(); it != schedule_.rend(); ++it) {
+    if (it->first_seq <= seq) return it->point;
+  }
+  return schedule_.front().point;
+}
+
+std::string decisions_to_jsonl(const std::vector<Decision>& decisions) {
+  std::vector<const Decision*> order;
+  order.reserve(decisions.size());
+  for (const Decision& d : decisions) order.push_back(&d);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Decision* a, const Decision* b) {
+                     if (a->stream != b->stream) return a->stream < b->stream;
+                     return a->epoch < b->epoch;
+                   });
+  std::string out;
+  char buf[512];
+  for (const Decision* d : order) {
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"bench\":\"control\",\"stream\":%llu,\"epoch\":%llu,"
+        "\"first_seq\":%llu,\"action\":\"%s\",\"lambda\":%.10g,"
+        "\"upsilon\":%zu,\"batch\":%zu,\"window_b\":%.6g,"
+        "\"activity\":%.6g,\"veto\":%.6g,\"pressure\":%.6g}\n",
+        static_cast<unsigned long long>(d->stream),
+        static_cast<unsigned long long>(d->epoch),
+        static_cast<unsigned long long>(d->first_seq), to_string(d->action),
+        d->point.lambda, d->point.upsilon, d->point.max_batch,
+        core::window_b_fraction(d->point.lambda), d->signals.activity,
+        d->signals.veto_ratio, d->signals.pressure);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace spacefts::control

@@ -39,4 +39,23 @@ inline constexpr double kMaxSensitivity = 100.0;
 /// \throws std::invalid_argument for Λ outside [0, 100] or set_size == 0.
 [[nodiscard]] std::size_t prune_rank(std::size_t set_size, double lambda);
 
+/// One point on the sensitivity/cost trade-off surface: the knobs a run (or
+/// one request of an adaptive stream, see src/control) operates at.  Window
+/// B is not a member because Algorithm 1 derives it *from* Λ — the pruning
+/// threshold the rank fraction selects is exactly the window's half-width —
+/// so the implied width is reported by window_b_fraction() instead of being
+/// set independently (which would break the Λ↑ ⇒ B↑ monotonicity of §3.3).
+struct OperatingPoint {
+  double lambda = 80.0;      ///< sensitivity Λ ∈ [0, 100]
+  std::size_t upsilon = 4;   ///< voter ways Υ (even, ≥ 2)
+  /// Batch-size ceiling the serving layer should apply to requests running
+  /// at this point; 0 = no hint (server default applies).
+  std::size_t max_batch = 0;
+};
+
+/// The surviving-voter fraction 1 − f(Λ): the fraction of XOR results the
+/// pruning rank keeps, i.e. the implied relative width of window B.
+/// \throws std::invalid_argument for Λ outside [0, 100].
+[[nodiscard]] double window_b_fraction(double lambda);
+
 }  // namespace spacefts::core

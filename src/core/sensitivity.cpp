@@ -18,6 +18,8 @@ double prune_fraction(double lambda) {
   return std::clamp(0.5 + (80.0 - lambda) / 200.0, 0.0, 1.0);
 }
 
+double window_b_fraction(double lambda) { return 1.0 - prune_fraction(lambda); }
+
 std::size_t prune_rank(std::size_t set_size, double lambda) {
   if (set_size == 0) throw std::invalid_argument("prune_rank: empty set");
   const double f = prune_fraction(lambda);

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "spacefts/core/kernel.hpp"
+#include "spacefts/core/sensitivity.hpp"
 #include "spacefts/fault/message_faults.hpp"
 #include "spacefts/serve/queue.hpp"
 #include "spacefts/serve/request.hpp"
@@ -37,6 +39,15 @@ struct ExecContext {
   /// corruption is applied here, to the packed request payload).
   fault::MessageFaultConfig ingress{};
   std::uint64_t ingress_seed = 0x5e12e;  ///< base of per-request fault streams
+  /// Adaptive-sensitivity hook (src/control): when set, resolves the
+  /// operating point (Λ, Υ, batch ceiling) each request runs at, overriding
+  /// the JobSpec's Λ and the algorithms' default Υ.  Called at batch
+  /// formation (for the batch hint) and again right before compute; both
+  /// calls must be pure in the request id — a replayed request resolves the
+  /// same point on any shard, which keeps results byte-identical across
+  /// topologies.  Υ is clamped to the job's frame budget; Λ is validated
+  /// like any JobSpec Λ.  A throwing tuner fails the request (kFailed).
+  std::function<core::OperatingPoint(const Request&)> tuner;
 };
 
 /// Validates a JobSpec against the context.

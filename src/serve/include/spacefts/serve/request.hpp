@@ -79,12 +79,20 @@ struct RequestResult {
   ServeStatus status = ServeStatus::kFailed;
   JobKind kind = JobKind::kNgst;
 
-  // ---- deterministic fields (function of the JobSpec alone) ------------
+  // ---- deterministic fields (function of the JobSpec alone — or, when a
+  // ---- controller steers the stream, of the whole workload prefix) ------
   std::uint32_t checksum = 0;  ///< CRC-32 of the output product bytes
   std::size_t pixels_corrected = 0;
   std::size_t bits_corrected = 0;          ///< NGST voter corrections
+  std::size_t pixels_vetoed = 0;           ///< plausibility-gate / trend saves
   std::size_t ingress_bits_corrupted = 0;  ///< injected by the ingress link
   double coverage = 1.0;                   ///< dist pipeline fragment coverage
+  /// The sensitivity/voter point the request actually ran at.  Equal to the
+  /// JobSpec's Λ (and the algorithms' default Υ) unless an ExecContext
+  /// tuner rewrote them — src/control's adaptive loop reports its applied
+  /// points here, which is how the results JSONL exposes controller state.
+  double lambda_eff = 0.0;
+  std::size_t upsilon_eff = 0;
 
   // ---- serving metadata (in the JSONL, but run-shape-dependent) --------
   /// The kernel that actually ran (kAuto = not yet stamped; the server

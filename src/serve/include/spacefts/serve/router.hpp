@@ -72,6 +72,14 @@ struct RouterConfig {
   /// Base seed of the ring geometry, key hashing, and replay jitter.
   std::uint64_t seed = 0x70c7e12ULL;
   fault::ShardFaultConfig chaos;  ///< default: a faithful fleet
+  /// Observer invoked exactly once per router-recorded result — the same
+  /// exactly-once stream take_results() sees, so replayed executions and
+  /// stale epoch-mismatched results never reach it.  This (not the shard
+  /// template's ServerConfig::on_result, which the router clears) is where
+  /// the control loop folds observations in sharded mode: the bank keyed by
+  /// stream survives any shard's death because it lives here, above the
+  /// fleet.
+  std::function<void(const RequestResult&)> on_result;
 };
 
 /// Monotonic counters; a consistent snapshot via Router::stats().

@@ -71,6 +71,12 @@ struct ServerConfig {
   /// kLost outcomes are always recorded (they are terminal fates, not
   /// admission rejections).
   bool record_rejects = true;
+  /// Observer invoked exactly once per recorded result (same cardinality as
+  /// take_results()), on whichever thread retires the request.  The control
+  /// loop folds its observations here.  Behind a Router, leave this empty
+  /// and use RouterConfig::on_result instead — a shard-level observer would
+  /// see replayed executions twice.
+  std::function<void(const RequestResult&)> on_result;
   ExecContext exec{};  ///< per-batch execution knobs + ingress fault model
 };
 

@@ -1,5 +1,6 @@
 #include "spacefts/serve/job.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <span>
@@ -37,6 +38,31 @@ std::span<std::uint8_t> writable_byte_view(std::span<T, N> values) {
           values.size() * sizeof(T)};
 }
 
+/// Resolves the sensitivity/voter point this request runs at.  Without a
+/// tuner the point mirrors the JobSpec's Λ and the algorithms' default Υ
+/// exactly, so the untuned path is bit-identical to the pre-controller
+/// service.  A tuned Υ is clamped per instrument: NGST to the largest even
+/// count the job's frames can pair (Υ/2 forward + Υ/2 backward neighbours
+/// need Υ < frames), OTIS to its discrete neighbourhoods {2, 4, 8}.
+core::OperatingPoint resolve_point(const Request& request,
+                                   const ExecContext& ctx,
+                                   std::size_t default_upsilon) {
+  core::OperatingPoint point;
+  point.lambda = request.job.lambda;
+  point.upsilon = default_upsilon;
+  if (!ctx.tuner) return point;
+  point = ctx.tuner(request);
+  if (request.job.kind == JobKind::kNgst) {
+    std::size_t cap = request.job.frames > 0 ? request.job.frames - 1 : 2;
+    cap -= cap % 2;
+    point.upsilon = std::clamp<std::size_t>(point.upsilon, 2,
+                                            std::max<std::size_t>(cap, 2));
+  } else {
+    point.upsilon = point.upsilon >= 8 ? 8 : point.upsilon >= 4 ? 4 : 2;
+  }
+  return point;
+}
+
 RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
                            const ExecContext& ctx) {
   const JobSpec& job = request.job;
@@ -66,9 +92,14 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
   ic.expectation.bitpix = 16;
   ic.expectation.width = static_cast<std::int64_t>(job.side);
   ic.expectation.height = static_cast<std::int64_t>(job.side);
-  ic.algo.lambda = job.lambda;
+  const core::OperatingPoint point =
+      resolve_point(request, ctx, ic.algo.upsilon);
+  ic.algo.lambda = point.lambda;
+  ic.algo.upsilon = point.upsilon;
   ic.algo.threads = ctx.algo_threads;
   ic.algo.kernel = ctx.kernel;
+  result.lambda_eff = point.lambda;
+  result.upsilon_eff = point.upsilon;
   const ingest::IngestGuard guard(ic);
   auto ingested = guard.ingest(payload);
   if (!ingested.ok) {
@@ -78,6 +109,7 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
   }
   result.pixels_corrected = ingested.preprocess.pixels_corrected;
   result.bits_corrected = ingested.preprocess.bits_corrected;
+  result.pixels_vetoed = ingested.preprocess.pixels_vetoed;
   std::uint32_t crc =
       edac::crc32(byte_view(ingested.stack.cube().voxels()));
 
@@ -91,7 +123,8 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
     pc.link.faults.corrupt_prob = job.link_loss;
     pc.link.faults.duplicate_prob = job.link_loss / 2.0;
     pc.link.faults.delay_prob = job.link_loss;
-    pc.algo.lambda = job.lambda;
+    pc.algo.lambda = point.lambda;
+    pc.algo.upsilon = point.upsilon;
     pc.algo.kernel = ctx.kernel;
     pc.threads = ctx.algo_threads;
     common::Rng pipeline_rng(
@@ -134,13 +167,20 @@ RequestResult execute_otis(const Request& request, bool corrupt_ingress,
   }
 
   core::AlgoOtisConfig oc;
-  oc.lambda = job.lambda;
+  const core::OperatingPoint point = resolve_point(request, ctx, oc.upsilon);
+  oc.lambda = point.lambda;
+  oc.upsilon = point.upsilon;
   oc.threads = ctx.algo_threads;
   oc.kernel = ctx.kernel;
+  result.lambda_eff = point.lambda;
+  result.upsilon_eff = point.upsilon;
   const core::AlgoOtis algo(oc);
   const auto report = algo.preprocess(scene.radiance, scene.wavelengths_um);
   result.pixels_corrected = report.bit_corrected + report.median_replaced;
   result.bits_corrected = report.bit_corrected;
+  // The trend test is OTIS's false-alarm averter: natural exceptions it
+  // protects are the spatial analogue of the NGST gate's vetoed pixels.
+  result.pixels_vetoed = report.trend_protected;
   result.checksum = edac::crc32(byte_view(scene.radiance.voxels()));
   result.status = ServeStatus::kOk;
   return result;

@@ -191,6 +191,9 @@ void Router::boot_shard_locked(std::size_t i) {
   // and record nothing for them so accounting stays single-writer.
   sc.admission_timeout_ms = 0.0;
   sc.record_rejects = false;
+  // Shard-level observers would see replayed executions once per epoch;
+  // the router's own exactly-once on_result replaces them.
+  sc.on_result = nullptr;
   const auto user_hook = config_.shard.pre_execute;
   sc.pre_execute = [this, chaos, user_hook](const Request& request) {
     const auto& plan = chaos->plan;
@@ -238,6 +241,7 @@ ServeStatus Router::submit(const Request& request) {
     result.kind = request.job.kind;
     result.status = ServeStatus::kShutdown;
     result.kernel = core::resolve_kernel(config_.shard.exec.kernel);
+    if (config_.on_result) config_.on_result(result);
     results_.push_back(std::move(result));
     ++results_recorded_;
     return ServeStatus::kShutdown;
@@ -321,6 +325,7 @@ void Router::resolve_shed_locked(std::uint64_t id) {
   pending_.erase(it);
   ++stats_.shed;
   telemetry::counter("serve.router.shed").add();
+  if (config_.on_result) config_.on_result(result);
   results_.push_back(std::move(result));
   ++results_recorded_;
   if (pending_.empty()) idle_cv_.notify_all();
@@ -367,6 +372,7 @@ void Router::accept_locked(std::uint32_t i, RequestResult result) {
       break;
   }
   pending_.erase(it);
+  if (config_.on_result) config_.on_result(result);
   results_.push_back(std::move(result));
   ++results_recorded_;
   if (pending_.empty()) idle_cv_.notify_all();

@@ -1,5 +1,6 @@
 #include "spacefts/serve/server.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -86,30 +87,38 @@ ServeStatus Server::submit(const Request& request) {
     common::Rng rng(common::derive_stream_seed(config_.exec.ingress_seed,
                                                request.id, kStreamAdmission));
     const auto outcome = ingress_model_.sample(rng);
-    std::lock_guard lock(mutex_);
-    if (outcome.duplicates > 0) {
-      // The receiver dedups redundant deliveries; account, then proceed.
-      stats_.ingress_duplicates += outcome.duplicates;
-      telemetry::counter("serve.ingress_duplicates").add(outcome.duplicates);
+    bool dropped = false;
+    RequestResult lost_result;
+    {
+      std::lock_guard lock(mutex_);
+      if (outcome.duplicates > 0) {
+        // The receiver dedups redundant deliveries; account, then proceed.
+        stats_.ingress_duplicates += outcome.duplicates;
+        telemetry::counter("serve.ingress_duplicates").add(outcome.duplicates);
+      }
+      if (outcome.corrupted) {
+        state->corrupt_ingress = true;
+        ++stats_.ingress_corrupted;
+        telemetry::counter("serve.ingress_corrupted").add();
+      }
+      if (outcome.extra_delay_s > 0.0) {
+        telemetry::histogram("serve.ingress_delay_s")
+            .record(outcome.extra_delay_s);
+      }
+      if (outcome.dropped) {
+        ++stats_.lost;
+        telemetry::counter("serve.lost").add();
+        lost_result.id = request.id;
+        lost_result.kind = request.job.kind;
+        lost_result.status = ServeStatus::kLost;
+        lost_result.kernel = resolved_kernel_;
+        live_.erase(request.id);
+        results_.push_back(lost_result);
+        dropped = true;
+      }
     }
-    if (outcome.corrupted) {
-      state->corrupt_ingress = true;
-      ++stats_.ingress_corrupted;
-      telemetry::counter("serve.ingress_corrupted").add();
-    }
-    if (outcome.extra_delay_s > 0.0) {
-      telemetry::histogram("serve.ingress_delay_s").record(outcome.extra_delay_s);
-    }
-    if (outcome.dropped) {
-      ++stats_.lost;
-      telemetry::counter("serve.lost").add();
-      RequestResult result;
-      result.id = request.id;
-      result.kind = request.job.kind;
-      result.status = ServeStatus::kLost;
-      result.kernel = resolved_kernel_;
-      live_.erase(request.id);
-      results_.push_back(std::move(result));
+    if (dropped) {
+      if (config_.on_result) config_.on_result(lost_result);
       return ServeStatus::kLost;
     }
   }
@@ -127,25 +136,30 @@ ServeStatus Server::submit(const Request& request) {
   const ServeStatus admitted =
       queue_.push(std::move(entry), config_.admission_timeout_ms);
   if (admitted != ServeStatus::kOk) {
-    std::lock_guard lock(mutex_);
-    live_.erase(request.id);
-    --outstanding_;
-    const ServeStatus status = admitted == ServeStatus::kShutdown
-                                   ? ServeStatus::kShutdown
-                                   : ServeStatus::kShed;
-    if (config_.record_rejects) {
-      if (status == ServeStatus::kShed) {
-        ++stats_.shed;
-        telemetry::counter("serve.shed").add();
+    ServeStatus status;
+    bool recorded = false;
+    RequestResult reject_result;
+    {
+      std::lock_guard lock(mutex_);
+      live_.erase(request.id);
+      --outstanding_;
+      status = admitted == ServeStatus::kShutdown ? ServeStatus::kShutdown
+                                                  : ServeStatus::kShed;
+      if (config_.record_rejects) {
+        if (status == ServeStatus::kShed) {
+          ++stats_.shed;
+          telemetry::counter("serve.shed").add();
+        }
+        reject_result.id = request.id;
+        reject_result.kind = request.job.kind;
+        reject_result.status = status;
+        reject_result.kernel = resolved_kernel_;
+        results_.push_back(reject_result);
+        recorded = true;
       }
-      RequestResult result;
-      result.id = request.id;
-      result.kind = request.job.kind;
-      result.status = status;
-      result.kernel = resolved_kernel_;
-      results_.push_back(std::move(result));
+      idle_cv_.notify_all();
     }
-    idle_cv_.notify_all();
+    if (recorded && config_.on_result) config_.on_result(reject_result);
     return status;
   }
   {
@@ -168,6 +182,9 @@ bool Server::cancel(std::uint64_t id) {
 
 void Server::record(RequestResult result) {
   if (result.kernel == core::Kernel::kAuto) result.kernel = resolved_kernel_;
+  // Observer first, outside mutex_: the control loop's fold can wake an
+  // admission gate whose submitter immediately re-enters submit().
+  if (config_.on_result) config_.on_result(result);
   {
     std::lock_guard lock(mutex_);
     switch (result.status) {
@@ -206,9 +223,22 @@ bool Server::next_batch(Batch& batch, bool blocking) {
   auto head = blocking ? queue_.pop_best() : queue_.try_pop_best();
   if (!head) return false;
   const ShapeKey shape = head->shape;
+  // The head's operating point may cap the batch below the server ceiling
+  // (the control loop biases small batches when calm, large under
+  // pressure).  A throwing tuner is ignored here — the hint is advisory,
+  // and the compute-time resolution will surface the error per request.
+  std::size_t budget = config_.max_batch;
+  if (config_.exec.tuner) {
+    try {
+      const std::size_t hint =
+          config_.exec.tuner(head->state->request).max_batch;
+      if (hint > 0) budget = std::min(budget, hint);
+    } catch (...) {
+    }
+  }
   batch.entries.push_back(std::move(*head));
-  if (config_.max_batch > 1) {
-    auto extra = queue_.collect_batch(shape, config_.max_batch - 1,
+  if (budget > 1) {
+    auto extra = queue_.collect_batch(shape, budget - 1,
                                       config_.batch_linger_ms);
     for (auto& e : extra) batch.entries.push_back(std::move(e));
   }

@@ -225,8 +225,15 @@ std::string results_to_jsonl(std::vector<RequestResult> results) {
     out += "\",\"checksum\":" + std::to_string(r.checksum);
     out += ",\"pixels_corrected\":" + std::to_string(r.pixels_corrected);
     out += ",\"bits_corrected\":" + std::to_string(r.bits_corrected);
+    out += ",\"pixels_vetoed\":" + std::to_string(r.pixels_vetoed);
     out += ",\"ingress_bits\":" + std::to_string(r.ingress_bits_corrupted);
     append_fmt(out, ",\"coverage\":%.10g", r.coverage);
+    // Applied operating point: JobSpec values unless a controller retuned
+    // them — deterministic either way, so it stays in the payload section
+    // (before the kernel/shard metadata the CI cross-topology compare
+    // strips).
+    append_fmt(out, ",\"lambda_eff\":%.10g", r.lambda_eff);
+    out += ",\"upsilon_eff\":" + std::to_string(r.upsilon_eff);
     out += ",\"kernel\":\"";
     out += core::kernel_name(r.kernel);
     out += "\",\"shard\":" + std::to_string(r.shard);

@@ -102,6 +102,35 @@ TEST(Health, StaleHeartbeatEjectsOnlyUnderLoad) {
             ss::EjectReason::kStaleHeartbeat);
 }
 
+TEST(Health, ThresholdBoundariesAreExact) {
+  const ss::HealthPolicy policy;
+  ss::ShardVitals vitals;
+  vitals.has_work = true;
+  // Heartbeat age exactly at the timeout is still inside the envelope —
+  // ejection requires strictly exceeding it.
+  vitals.heartbeat_age_ms = policy.heartbeat_timeout_ms;
+  EXPECT_EQ(ss::should_eject(policy, vitals), ss::EjectReason::kNone);
+  vitals.heartbeat_age_ms =
+      std::nextafter(policy.heartbeat_timeout_ms, 1e12);
+  EXPECT_EQ(ss::should_eject(policy, vitals),
+            ss::EjectReason::kStaleHeartbeat);
+  vitals.heartbeat_age_ms = 0.0;
+
+  // The failure count is inclusive: max_consecutive_failures is the first
+  // ejecting value, one less is still tolerated.
+  vitals.consecutive_failures = policy.max_consecutive_failures - 1;
+  EXPECT_EQ(ss::should_eject(policy, vitals), ss::EjectReason::kNone);
+  vitals.consecutive_failures = policy.max_consecutive_failures;
+  EXPECT_EQ(ss::should_eject(policy, vitals), ss::EjectReason::kFailureBurst);
+  vitals.consecutive_failures = 0;
+
+  // Congestion mirrors the heartbeat edge: exactly-at-window is healthy.
+  vitals.congested_ms = policy.congestion_timeout_ms;
+  EXPECT_EQ(ss::should_eject(policy, vitals), ss::EjectReason::kNone);
+  vitals.congested_ms = std::nextafter(policy.congestion_timeout_ms, 1e12);
+  EXPECT_EQ(ss::should_eject(policy, vitals), ss::EjectReason::kCongestion);
+}
+
 TEST(Health, FailureBurstAndCongestionEject) {
   const ss::HealthPolicy policy;
   ss::ShardVitals vitals;

@@ -64,13 +64,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "spacefts/campaign/campaign.hpp"
+#include "spacefts/campaign/drift.hpp"
 #include "spacefts/check/corpus.hpp"
+#include "spacefts/control/bank.hpp"
+#include "spacefts/control/controller.hpp"
 #include "spacefts/check/differential.hpp"
 #include "spacefts/core/algo_ngst.hpp"
 #include "spacefts/core/kernel.hpp"
@@ -117,13 +122,18 @@ constexpr VerbHelp kVerbHelp[] = {
      " [--fragment-side N]\n"
      "                [--gamma0 X] [--crash X] [--link-loss X] [--lambda X]\n"
      "                [--retries N] [--seed S] [--threads N]"
-     " [--kernel auto|scalar|swar|avx2]\n"},
+     " [--kernel auto|scalar|swar|avx2]\n"
+     "                [--control-budget-ms X]\n"},
     {"campaign",
      "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
      " [--link-loss a,b] [--lambda a,b]\n"
      "                [--trials N] [--seed S] [--threads N] [--retries N]"
      " [--no-retries]\n"
-     "                [--out path] [--enforce]\n"},
+     "                [--out path] [--enforce]\n"
+     "                [--control [--phase-len N] [--shards N]"
+     " [--shard-kill I@C]\n"
+     "                [--control-budget-ms X]] (drifting-gamma0 controller"
+     " sweep)\n"},
     {"serve",
      "  spacefts_cli serve [--replay file | --requests N --rate X"
      " [--otis-frac X]\n"
@@ -138,7 +148,10 @@ constexpr VerbHelp kVerbHelp[] = {
      " [--shard-crash X] [--shard-stall X]\n"
      "                [--shard-slow X] [--results-out file]"
      " [--workload-out file] [--gen-only]\n"
-     "                [--kernel auto|scalar|swar|avx2]\n"},
+     "                [--kernel auto|scalar|swar|avx2]\n"
+     "                [--control] [--control-out file]"
+     " [--control-budget-ms X]\n"
+     "                [--control-window N] [--control-lag N]\n"},
     {"check",
      "  spacefts_cli check [--seed S] [--cases N] [--threads a,b,c]\n"
      "                [--kernel auto|scalar|swar|avx2]"
@@ -216,6 +229,15 @@ int bad_flag(const std::string& flag, const char* detail) {
 [[nodiscard]] bool parse_kernel_flag(const char* text,
                                      spacefts::core::Kernel& out) {
   return text != nullptr && spacefts::core::parse_kernel(text, out);
+}
+
+/// Early writability probe for output-path flags: a typo'd directory should
+/// cost exit 3 before the run, not exit 1 after minutes of compute.  Append
+/// mode creates a missing file but never truncates an existing one, so a
+/// later failure leaves any prior artifact intact.
+[[nodiscard]] bool probe_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  return static_cast<bool>(probe);
 }
 
 /// Shared handling of --trace-out/--metrics-out across verbs.
@@ -526,6 +548,7 @@ int cmd_pipeline(int argc, char** argv) {
   std::size_t side = 32, frames = 16, workers = 4, fragment_side = 16,
               retries = 3, threads = 1;
   double gamma0 = 0.002, crash_prob = 0.1, link_loss = 0.3, lambda = 80.0;
+  double control_budget_ms = 0.0;  ///< > 0: fit lambda/upsilon to budget
   std::uint64_t seed = 42;
   spacefts::core::Kernel kernel = spacefts::core::Kernel::kAuto;
   TelemetryOptions telem;
@@ -550,6 +573,11 @@ int cmd_pipeline(int argc, char** argv) {
       if (!parse_double(value(), link_loss)) return bad_flag(arg, "bad value");
     } else if (arg == "--lambda") {
       if (!parse_double(value(), lambda)) return bad_flag(arg, "bad value");
+    } else if (arg == "--control-budget-ms") {
+      if (!parse_double(value(), control_budget_ms) ||
+          control_budget_ms <= 0.0) {
+        return bad_flag(arg, "budget must be > 0 ms");
+      }
     } else if (arg == "--retries") {
       if (!parse_size(value(), retries)) return bad_flag(arg, "bad value");
     } else if (arg == "--seed") {
@@ -612,6 +640,28 @@ int cmd_pipeline(int argc, char** argv) {
   pc.algo.kernel = kernel;
   pc.threads = threads;
   pc.max_link_retries = retries;
+  if (control_budget_ms > 0.0) {
+    // Open-loop controller fit: the hottest (lambda, upsilon) whose virtual
+    // cost for this job keeps headroom under the budget.  Overrides
+    // --lambda — the two knobs answer the same question differently.
+    spacefts::control::ControlConfig cc;
+    cc.deadline_budget_ms = control_budget_ms;
+    auto point = spacefts::control::fit_budget(cc, side * side * frames);
+    // Same per-instrument clamp the serving tuner applies: NGST voting
+    // needs upsilon < frames, rounded down to even.
+    std::size_t upsilon_cap = frames > 1 ? frames - 1 : 2;
+    upsilon_cap -= upsilon_cap % 2;
+    if (upsilon_cap >= 2 && point.upsilon > upsilon_cap) {
+      point.upsilon = upsilon_cap;
+    }
+    pc.algo.lambda = point.lambda;
+    pc.algo.upsilon = point.upsilon;
+    std::printf(
+        "control: budget %.3g ms -> lambda %.10g, upsilon %zu (virtual cost"
+        " %.4g ms)\n",
+        control_budget_ms, point.lambda, point.upsilon,
+        spacefts::control::virtual_cost_ms(cc, side * side * frames, point));
+  }
 
   spacefts::common::Rng rng = gen.rng().split();
   const auto result = spacefts::dist::run_pipeline(readouts, pc, rng);
@@ -628,10 +678,31 @@ int cmd_pipeline(int argc, char** argv) {
   return telem.finish();
 }
 
+/// Parses a --shard-kill operand of the form "I@C": kill shard I once the
+/// router has recorded C results.
+bool parse_shard_kill(const char* text, std::size_t& shard,
+                      std::uint64_t& after) {
+  if (text == nullptr) return false;
+  const std::string token(text);
+  const auto at = token.find('@');
+  if (at == std::string::npos || at == 0 || at + 1 == token.size()) {
+    return false;
+  }
+  return parse_size(token.substr(0, at).c_str(), shard) &&
+         parse_u64(token.substr(at + 1).c_str(), after);
+}
+
 int cmd_campaign(int argc, char** argv) {
   spacefts::campaign::CampaignConfig config;
   std::string out_path = "BENCH_campaign.json";
   bool enforce = false;
+  // Drifting-gamma0 controller sweep (--control): reuses --gamma0 as the
+  // phase schedule and --lambda as the fixed-baseline grid.
+  bool control_mode = false, gamma_set = false, lambda_set = false,
+       out_set = false;
+  std::size_t phase_len = 96, drift_shards = 0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> drift_kills;
+  double control_budget_ms = 0.0;
   TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -642,6 +713,7 @@ int cmd_campaign(int argc, char** argv) {
       if (!parse_grid(value(), config.gamma0_grid)) {
         return bad_flag(arg, "bad grid value");
       }
+      gamma_set = true;
     } else if (arg == "--crash") {
       if (!parse_grid(value(), config.crash_grid)) {
         return bad_flag(arg, "bad grid value");
@@ -653,6 +725,29 @@ int cmd_campaign(int argc, char** argv) {
     } else if (arg == "--lambda") {
       if (!parse_grid(value(), config.lambda_grid)) {
         return bad_flag(arg, "bad grid value");
+      }
+      lambda_set = true;
+    } else if (arg == "--control") {
+      control_mode = true;
+    } else if (arg == "--phase-len") {
+      if (!parse_size(value(), phase_len) || phase_len == 0) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--shards") {
+      if (!parse_size(value(), drift_shards) || drift_shards == 0) {
+        return bad_flag(arg, "must be a positive shard count");
+      }
+    } else if (arg == "--shard-kill") {
+      std::size_t victim = 0;
+      std::uint64_t after = 0;
+      if (!parse_shard_kill(value(), victim, after)) {
+        return bad_flag(arg, "expected SHARD@RESULT_COUNT (e.g. 1@50)");
+      }
+      drift_kills.emplace_back(victim, after);
+    } else if (arg == "--control-budget-ms") {
+      if (!parse_double(value(), control_budget_ms) ||
+          control_budget_ms <= 0.0) {
+        return bad_flag(arg, "budget must be > 0 ms");
       }
     } else if (arg == "--trials") {
       if (!parse_size(value(), config.trials)) {
@@ -674,6 +769,7 @@ int cmd_campaign(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return bad_flag(arg, "missing file argument");
       out_path = v;
+      out_set = true;
     } else if (arg == "--enforce") {
       enforce = true;
     } else if (arg == "--trace-out") {
@@ -689,6 +785,75 @@ int cmd_campaign(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  if (!control_mode &&
+      (drift_shards > 0 || !drift_kills.empty() || control_budget_ms > 0.0)) {
+    return bad_flag("--shards/--shard-kill/--control-budget-ms",
+                    "require --control");
+  }
+
+  if (control_mode) {
+    spacefts::campaign::DriftConfig dc;
+    if (gamma_set) {
+      dc.phases.clear();
+      for (const double gamma0 : config.gamma0_grid) {
+        dc.phases.push_back({gamma0, phase_len});
+      }
+    } else {
+      for (auto& phase : dc.phases) phase.requests = phase_len;
+    }
+    if (lambda_set) dc.lambda_grid = config.lambda_grid;
+    dc.seed = config.seed;
+    // --threads means serve worker threads here (the determinism axis the
+    // control-smoke CI job sweeps); the classic grid uses it for trials.
+    dc.workers = config.threads > 0 ? config.threads : 2;
+    dc.shards = drift_shards;
+    dc.shard_kills = drift_kills;
+    if (control_budget_ms > 0.0) {
+      dc.control.deadline_budget_ms = control_budget_ms;
+    }
+
+    telem.arm();
+    const auto report = spacefts::campaign::run_drift(dc);
+    const std::string drift_out =
+        out_set ? out_path : std::string("control_drift.jsonl");
+    {
+      // Truncate, not append: the file is a byte-comparable artifact.
+      std::ofstream out(drift_out, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "campaign: cannot write %s\n",
+                     drift_out.c_str());
+        return kExitFailure;
+      }
+      out << spacefts::campaign::to_jsonl(report);
+    }
+    for (const auto& arm : report.arms) {
+      std::printf(
+          "control %-12s science %12.0f  corrected %llu/%llu  vetoed %llu"
+          "  vcost %.4g ms  compliance %.4g  decisions %zu (+%zu/-%zu/!%zu)\n",
+          arm.name.c_str(), arm.science,
+          static_cast<unsigned long long>(arm.corrected_faulty),
+          static_cast<unsigned long long>(arm.corrected_clean),
+          static_cast<unsigned long long>(arm.vetoed),
+          arm.virtual_cost_ms_mean, arm.virtual_compliance, arm.decisions,
+          arm.raises, arm.relaxes, arm.sheds);
+    }
+    std::printf("campaign: controller sweep, %zu arms; wrote %s\n",
+                report.arms.size(), drift_out.c_str());
+    const int telem_rc = telem.finish();
+    if (enforce) {
+      std::string diagnostics;
+      const std::size_t violations =
+          spacefts::campaign::enforce_drift(report, diagnostics);
+      if (violations > 0) {
+        std::fprintf(stderr, "campaign enforce: %zu violation(s)\n%s",
+                     violations, diagnostics.c_str());
+        return kExitFailure;
+      }
+      std::printf("campaign enforce: pass\n");
+    }
+    return telem_rc;
   }
 
   telem.arm();
@@ -712,23 +877,12 @@ int cmd_campaign(int argc, char** argv) {
   return telem_rc;
 }
 
-/// Parses a --shard-kill operand of the form "I@C": kill shard I once the
-/// router has recorded C results.
-bool parse_shard_kill(const char* text, std::size_t& shard,
-                      std::uint64_t& after) {
-  if (text == nullptr) return false;
-  const std::string token(text);
-  const auto at = token.find('@');
-  if (at == std::string::npos || at == 0 || at + 1 == token.size()) {
-    return false;
-  }
-  return parse_size(token.substr(0, at).c_str(), shard) &&
-         parse_u64(token.substr(at + 1).c_str(), after);
-}
-
 int cmd_serve(int argc, char** argv) {
   std::string replay_path, results_out, workload_out;
   bool gen_only = false, pace = false;
+  bool control_enabled = false;
+  std::string control_out;
+  spacefts::control::ControlConfig control_cfg;
   std::size_t shards = 0;  ///< 0 = classic single-server path
   std::vector<std::pair<std::size_t, std::uint64_t>> shard_kills;
   spacefts::fault::ShardFaultConfig chaos;
@@ -836,6 +990,26 @@ int cmd_serve(int argc, char** argv) {
       if (!parse_double(value(), config.exec.ingress.corrupt_prob)) {
         return bad_flag(arg, "bad value");
       }
+    } else if (arg == "--control") {
+      control_enabled = true;
+    } else if (arg == "--control-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      control_out = v;
+    } else if (arg == "--control-budget-ms") {
+      if (!parse_double(value(), control_cfg.deadline_budget_ms) ||
+          control_cfg.deadline_budget_ms <= 0.0) {
+        return bad_flag(arg, "budget must be > 0 ms");
+      }
+    } else if (arg == "--control-window") {
+      if (!parse_size(value(), control_cfg.window) ||
+          control_cfg.window == 0) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--control-lag") {
+      if (!parse_size(value(), control_cfg.lag) || control_cfg.lag == 0) {
+        return bad_flag(arg, "bad value");
+      }
     } else if (arg == "--pace") {
       pace = true;
     } else if (arg == "--gen-only") {
@@ -884,6 +1058,27 @@ int cmd_serve(int argc, char** argv) {
   if (shards > 0 && config.workers == 0) {
     return bad_flag("--threads", "must be > 0 with --shards");
   }
+  if (!control_enabled && !control_out.empty()) {
+    return bad_flag("--control-out", "requires --control");
+  }
+  if (control_enabled && config.workers == 0) {
+    return bad_flag("--control",
+                    "requires --threads > 0 (the admission gate needs a "
+                    "running worker to make progress)");
+  }
+  // Early writability probes: a typo'd output path exits 3 here, before the
+  // run burns minutes of compute only to fail at the final write.
+  const std::pair<const char*, const std::string*> out_paths[] = {
+      {"--trace-out", &telem.trace_out},
+      {"--metrics-out", &telem.metrics_out},
+      {"--results-out", &results_out},
+      {"--workload-out", &workload_out},
+      {"--control-out", &control_out}};
+  for (const auto& [flag, path] : out_paths) {
+    if (!path->empty() && !probe_writable(*path)) {
+      return bad_flag(flag, "cannot open for writing");
+    }
+  }
 
   // Obtain the workload: replay a committed file or generate in-process.
   std::vector<spacefts::serve::WorkloadItem> items;
@@ -912,6 +1107,20 @@ int cmd_serve(int argc, char** argv) {
   if (gen_only) return 0;
 
   telem.arm();
+  // The controller bank outlives the server/router so every worker-thread
+  // tuner call and result observation lands on live state.
+  std::optional<spacefts::control::ControllerBank> bank;
+  if (control_enabled) {
+    bank.emplace(control_cfg);
+    config.exec.tuner = [&bank](const spacefts::serve::Request& r) {
+      return bank->point(r.id);
+    };
+    // Single-server observer; the router clears it from the shard template
+    // and delivers its own exactly-once stream via RouterConfig::on_result.
+    config.on_result = [&bank](const spacefts::serve::RequestResult& r) {
+      bank->observe(r);
+    };
+  }
   std::vector<spacefts::serve::RequestResult> results;
   const auto start = std::chrono::steady_clock::now();
   const auto submit_all = [&](auto& sink) {
@@ -924,6 +1133,7 @@ int cmd_serve(int argc, char** argv) {
                 std::chrono::duration<double>(item.arrival_s));
         std::this_thread::sleep_until(due);
       }
+      if (bank) (void)bank->admit(item.request);
       (void)sink.submit(item.request);
     }
   };
@@ -933,6 +1143,11 @@ int cmd_serve(int argc, char** argv) {
     rc.shards = shards;
     rc.shard = config;
     rc.chaos = chaos;
+    if (bank) {
+      rc.on_result = [&bank](const spacefts::serve::RequestResult& r) {
+        bank->observe(r);
+      };
+    }
     spacefts::serve::Router router(rc);
     for (const auto& [victim, after] : shard_kills) {
       router.schedule_kill(victim, after);
@@ -1002,6 +1217,20 @@ int cmd_serve(int argc, char** argv) {
         static_cast<unsigned long long>(stats.batches),
         static_cast<unsigned long long>(stats.ingress_corrupted),
         static_cast<unsigned long long>(stats.ingress_duplicates));
+  }
+
+  if (bank) {
+    std::printf("control: %zu stream controller(s), %zu decision(s)\n",
+                bank->stream_count(), bank->decisions().size());
+  }
+  if (bank && !control_out.empty()) {
+    std::ofstream out(control_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write %s\n", control_out.c_str());
+      return kExitFailure;
+    }
+    out << spacefts::control::decisions_to_jsonl(bank->decisions());
+    std::printf("wrote control decisions %s\n", control_out.c_str());
   }
 
   if (!results_out.empty()) {
