@@ -111,28 +111,11 @@ inline std::vector<double> measure_psi(
 
 namespace detail {
 
-/// Extracts the raw token following `"key": ` in a JSON-lines record —
-/// just enough parsing to build a dedupe key; not a JSON parser.  Returns
-/// "" when the key is absent (legacy records predating a field).
+/// Extracts the raw token following `"key": ` in a JSON-lines record.
+/// Thin alias of the shared telemetry::jsonl helper (kept for the existing
+/// bench call sites).
 inline std::string json_field(std::string_view line, std::string_view key) {
-  std::string needle;
-  needle.reserve(key.size() + 3);
-  needle += '"';
-  needle += key;
-  needle += "\":";
-  const auto pos = line.find(needle);
-  if (pos == std::string_view::npos) return "";
-  std::size_t begin = pos + needle.size();
-  while (begin < line.size() && line[begin] == ' ') ++begin;
-  std::size_t end = begin;
-  if (begin < line.size() && line[begin] == '"') {
-    end = line.find('"', begin + 1);
-    return end == std::string_view::npos
-               ? ""
-               : std::string(line.substr(begin + 1, end - begin - 1));
-  }
-  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
-  return std::string(line.substr(begin, end - begin));
+  return spacefts::telemetry::jsonl::json_field(line, key);
 }
 
 /// The run-configuration identity of one stack_preprocess record.  Records
@@ -149,13 +132,11 @@ inline std::string preprocess_record_key(std::string_view line) {
 
 }  // namespace detail
 
-/// Bench-hygiene guard for values destined for a BENCH_*.json row: a NaN
-/// or (for inherently non-negative metrics) negative reading means the
-/// harness is broken, and silently committing it would poison every
-/// downstream comparison — recorders must refuse the whole row instead.
-/// Pass signed_ok for metrics that are legitimately signed differences.
+/// Bench-hygiene guard for values destined for a BENCH_*.json row.  Thin
+/// alias of the shared telemetry::jsonl helper (every recorder in the tree
+/// goes through the same validation).
 inline bool valid_metric(double value, bool signed_ok = false) {
-  return std::isfinite(value) && (signed_ok || value >= 0.0);
+  return spacefts::telemetry::jsonl::valid_metric(value, signed_ok);
 }
 
 /// UTC wall-clock stamp ("2026-02-07T12:34:56Z") for trajectory records.
@@ -169,38 +150,15 @@ inline std::string iso_timestamp_utc() {
 }
 
 /// Rewrites the JSONL file at \p path so it holds exactly one row per
-/// configuration, then appends \p line (which must end in '\n').  `key_of`
-/// maps a row to its configuration identity; among duplicates the newest
-/// row wins.  This is the shared upsert under every BENCH_*.json recorder —
-/// re-running a bench replaces its rows instead of accumulating them.
+/// configuration, then appends \p line (which must end in '\n').  Thin
+/// alias of the shared telemetry::jsonl::upsert_jsonl — every BENCH_*.json
+/// writer in the tree (benches, campaign runner, CLI) goes through that
+/// one implementation, so keyed replacement semantics cannot drift apart.
 inline void upsert_jsonl_record(
     const std::string& line,
     const std::function<std::string(std::string_view)>& key_of,
     const char* path) {
-  std::vector<std::string> lines;
-  {
-    std::ifstream in(path);
-    std::string row;
-    while (std::getline(in, row))
-      if (!row.empty()) lines.push_back(row);
-  }
-  const std::string new_key = key_of(line);
-  std::string text;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string key = key_of(lines[i]);
-    if (key == new_key) continue;
-    bool superseded = false;
-    for (std::size_t j = i + 1; j < lines.size() && !superseded; ++j)
-      superseded = key_of(lines[j]) == key;
-    if (!superseded) text += lines[i] + "\n";
-  }
-  text += line;
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    std::fprintf(stderr, "bench: cannot rewrite %s\n", path);
-    return;
-  }
-  out << text;
+  (void)spacefts::telemetry::jsonl::upsert_jsonl(line, key_of, path);
 }
 
 /// Records one stack-preprocessing throughput measurement in \p path
@@ -227,14 +185,6 @@ inline void append_preprocess_record(double pixels_per_s, std::size_t threads,
   line += ", \"git_sha\": \"" + jsonl::escape(SPACEFTS_GIT_SHA) + "\"";
   line += ", \"iso_timestamp\": \"" + iso_timestamp_utc() + "\"}\n";
   upsert_jsonl_record(line, detail::preprocess_record_key, path);
-}
-
-/// Appends pre-rendered JSON-lines text to \p path, the shared accumulation
-/// pattern of every BENCH_*.json artifact.  Returns false (with a message on
-/// stderr) when the file cannot be opened.  Thin wrapper over the shared
-/// telemetry::jsonl::append_file helper.
-inline bool append_jsonl(const std::string& text, const char* path) {
-  return spacefts::telemetry::jsonl::append_file(path, text);
 }
 
 /// Prints a table header: the x-label followed by one column per algorithm.

@@ -31,8 +31,9 @@ int main(int argc, char** argv) {
                 cell.mean_makespan_s);
   }
 
-  bench::append_jsonl(spacefts::campaign::to_jsonl(report),
-                      "BENCH_campaign.json");
+  // Keyed upsert (one row per grid cell), not blind append: re-running the
+  // bench replaces its rows, same as every other BENCH_*.json recorder.
+  spacefts::campaign::append_jsonl(report, "BENCH_campaign.json");
 
   std::string diagnostics;
   const std::size_t violations =

@@ -269,12 +269,22 @@ std::string to_jsonl(const CampaignReport& report) {
   return out;
 }
 
-void append_jsonl(const CampaignReport& report, const std::string& path) {
-  std::ofstream stream(path, std::ios::app);
-  if (!stream) {
-    throw std::runtime_error("campaign: cannot open " + path);
+std::string campaign_row_key(std::string_view line) {
+  namespace jsonl = telemetry::jsonl;
+  std::string key = jsonl::json_field(line, "bench");
+  for (const char* axis : {"gamma0", "crash_prob", "link_loss", "lambda",
+                           "fault_rate", "shadow_rate"}) {
+    key += '|';
+    key += jsonl::json_field(line, axis);
   }
-  stream << to_jsonl(report);
+  return key;
+}
+
+void append_jsonl(const CampaignReport& report, const std::string& path) {
+  if (!telemetry::jsonl::upsert_jsonl(to_jsonl(report), campaign_row_key,
+                                      path)) {
+    throw std::runtime_error("campaign: cannot rewrite " + path);
+  }
 }
 
 std::size_t enforce(const CampaignReport& report, std::string& diagnostics) {

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "spacefts/dist/pipeline.hpp"
@@ -90,9 +91,18 @@ struct CampaignReport {
 /// %.10g formatting — byte-stable across runs and thread counts).
 [[nodiscard]] std::string to_jsonl(const CampaignReport& report);
 
-/// Appends to_jsonl(report) to \p path (BENCH_campaign.json by
-/// convention).  \throws std::runtime_error when the file cannot be opened.
+/// Upserts to_jsonl(report) into \p path (BENCH_campaign.json by
+/// convention) through the shared telemetry::jsonl keyed-rewrite: one row
+/// per grid cell, re-runs replace their rows instead of accumulating.
+/// \throws std::runtime_error when the file cannot be rewritten.
 void append_jsonl(const CampaignReport& report, const std::string& path);
+
+/// The row-identity key the campaign artifact dedupes on: the bench name
+/// plus every axis field present in the row (fault_campaign rows key on
+/// (gamma0, crash_prob, link_loss, lambda); compute_shadow rows on
+/// (fault_rate, shadow_rate); absent fields contribute "").  Shared with
+/// the compute-sweep recorder and the CI validator.
+[[nodiscard]] std::string campaign_row_key(std::string_view line);
 
 /// Robustness gate: returns the number of violations (0 = pass) and
 /// appends one human-readable line per violation to \p diagnostics.

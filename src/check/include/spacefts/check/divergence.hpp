@@ -1,0 +1,39 @@
+/// \file divergence.hpp
+/// Byte-level output comparison shared by the differential harness and the
+/// shadow-compare production guard (src/backend).
+///
+/// Header-only and dependency-free on purpose: the check library links
+/// serve (it fuzzes the serving path), so lower layers that want the same
+/// comparison semantics — first divergent byte, both sides' values — can
+/// include this without a link edge back into check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace spacefts::check {
+
+/// The first byte at which two equally sized outputs disagree.
+struct Divergence {
+  std::size_t byte_offset = 0;
+  std::uint8_t lhs = 0;
+  std::uint8_t rhs = 0;
+};
+
+/// Compares two output buffers byte for byte.  Differently sized buffers
+/// diverge at the shorter length (values 0/0 — a shape mismatch, not a
+/// data one).  Returns nullopt when the outputs are identical.
+[[nodiscard]] inline std::optional<Divergence> first_divergence(
+    std::span<const std::uint8_t> lhs, std::span<const std::uint8_t> rhs) {
+  if (lhs.size() != rhs.size()) {
+    return Divergence{lhs.size() < rhs.size() ? lhs.size() : rhs.size(), 0, 0};
+  }
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i] != rhs[i]) return Divergence{i, lhs[i], rhs[i]};
+  }
+  return std::nullopt;
+}
+
+}  // namespace spacefts::check

@@ -12,6 +12,7 @@
 #include "spacefts/common/parallel.hpp"
 #include "spacefts/core/kernel.hpp"
 #include "spacefts/core/sensitivity.hpp"
+#include "spacefts/core/sort_median.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
 
@@ -84,16 +85,10 @@ constexpr std::size_t kTileWidth = 64;
   }
   const std::size_t count = partners.size();
   if (count == 0) return false;
-  // Median by insertion sort; count <= Υ stays small in practice.
-  for (std::size_t a = 1; a < count; ++a) {
-    const std::uint16_t key = partners[a];
-    std::size_t b = a;
-    while (b > 0 && key < partners[b - 1]) {
-      partners[b] = partners[b - 1];
-      --b;
-    }
-    partners[b] = key;
-  }
+  // Median via the branchless small-sort (networks for the production
+  // counts 4 and 8, insertion sort at series boundaries); a full sort of
+  // the same multiset yields the same median either way.
+  sort_small_u16(partners.data(), count);
   const std::int32_t med = partners[count / 2];
   const std::int32_t dev = std::abs(static_cast<std::int32_t>(series[i]) - med);
   const std::int32_t top_weight = std::int32_t{1}

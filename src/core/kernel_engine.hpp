@@ -46,6 +46,7 @@
 #include "spacefts/common/bitops.hpp"
 #include "spacefts/common/parallel.hpp"
 #include "spacefts/core/sensitivity.hpp"
+#include "spacefts/core/sort_median.hpp"
 #include "spacefts/core/voter_matrix.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
 
@@ -112,15 +113,7 @@ template <typename Word>
   }
   const std::size_t count = partners.size();
   if (count == 0) return false;
-  for (std::size_t a = 1; a < count; ++a) {
-    const std::uint16_t key = partners[a];
-    std::size_t b = a;
-    while (b > 0 && key < partners[b - 1]) {
-      partners[b] = partners[b - 1];
-      --b;
-    }
-    partners[b] = key;
-  }
+  sort_small_u16(partners.data(), count);
   const std::int32_t med = partners[count / 2];
   const std::int32_t dev =
       std::abs(static_cast<std::int32_t>(soa[i * twp + k]) - med);

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -100,6 +101,18 @@ struct PipelineConfig {
   /// threads of the host.  Does not affect results — tile output is
   /// bit-identical for every value.
   std::size_t threads = 1;
+  /// Optional compute executor for the kAlgoNgst worker stage.  When set,
+  /// each worker routes its tile preprocessing through it instead of
+  /// running AlgoNgst inline — the serve tier uses this to execute
+  /// fragments on a pluggable backend.  \p fragment is the row-major tile
+  /// index, so an executor can derive a distinct fault/shadow stream per
+  /// fragment.  Must be semantically equivalent to
+  /// AlgoNgst(config).preprocess(tile); the memory-fault leg has already
+  /// run when it is called.
+  std::function<core::AlgoNgstReport(common::TemporalStack<std::uint16_t>&,
+                                     const core::AlgoNgstConfig&,
+                                     std::size_t fragment)>
+      ngst_executor;
 };
 
 /// How one fragment's science product was obtained.

@@ -132,7 +132,7 @@ struct WorkerOutput {
 
 [[nodiscard]] WorkerOutput worker_compute(
     common::TemporalStack<std::uint16_t> tile, const PipelineConfig& config,
-    common::Rng& rng) {
+    common::Rng& rng, std::size_t fragment) {
   WorkerOutput out{common::Image<float>{}, 0, 0};
   // Bit flips strike the tile while it sits in the worker's data memory.
   if (config.gamma0 > 0.0) {
@@ -148,9 +148,14 @@ struct WorkerOutput {
     case PreprocessMode::kAlgoNgst: {
       core::AlgoNgstConfig algo_config = config.algo;
       algo_config.threads = config.threads;
-      const core::AlgoNgst algo(algo_config);
-      const auto report = algo.preprocess(tile);
-      out.corrected = report.pixels_corrected;
+      if (config.ngst_executor) {
+        const auto report = config.ngst_executor(tile, algo_config, fragment);
+        out.corrected = report.pixels_corrected;
+      } else {
+        const core::AlgoNgst algo(algo_config);
+        const auto report = algo.preprocess(tile);
+        out.corrected = report.pixels_corrected;
+      }
       break;
     }
     case PreprocessMode::kMedian3:
@@ -448,7 +453,7 @@ PipelineResult run_pipeline(const common::TemporalStack<std::uint16_t>& readouts
       auto tile = deserialize_tile(edac::frame_payload(frame), side,
                                    readouts.frames());
       WorkerOutput out =
-          worker_compute(std::move(tile), config, tile_rngs[i]);
+          worker_compute(std::move(tile), config, tile_rngs[i], i);
       result.faults_injected += out.faults;
       result.pixels_corrected += out.corrected;
       send_gather(i, ep, std::move(out));

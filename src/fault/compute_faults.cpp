@@ -1,0 +1,161 @@
+#include "spacefts/fault/compute_faults.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "spacefts/common/random.hpp"
+
+namespace spacefts::fault {
+
+const char* to_string(ComputeFaultKind kind) noexcept {
+  switch (kind) {
+    case ComputeFaultKind::kNone:
+      return "none";
+    case ComputeFaultKind::kBitFlips:
+      return "bit-flips";
+    case ComputeFaultKind::kStuckTile:
+      return "stuck-tile";
+    case ComputeFaultKind::kTruncate:
+      return "truncate";
+    case ComputeFaultKind::kStall:
+      return "stall";
+  }
+  return "unknown";
+}
+
+ComputeFaultModel::ComputeFaultModel(const ComputeFaultConfig& config)
+    : config_(config) {
+  if (!(config_.fault_rate >= 0.0 && config_.fault_rate <= 1.0)) {
+    throw std::invalid_argument("compute_faults: fault_rate outside [0, 1]");
+  }
+  if (config_.bitflip_weight < 0.0 || config_.stuck_weight < 0.0 ||
+      config_.truncate_weight < 0.0 || config_.stall_weight < 0.0) {
+    throw std::invalid_argument("compute_faults: negative kind weight");
+  }
+  const double total = config_.bitflip_weight + config_.stuck_weight +
+                       config_.truncate_weight + config_.stall_weight;
+  if (config_.fault_rate > 0.0 && total <= 0.0) {
+    throw std::invalid_argument(
+        "compute_faults: positive fault_rate needs a positive kind weight");
+  }
+  if (config_.max_bit_flips == 0 || config_.tile_side == 0) {
+    throw std::invalid_argument(
+        "compute_faults: max_bit_flips and tile_side must be > 0");
+  }
+  if (config_.stall_ms < 0.0) {
+    throw std::invalid_argument("compute_faults: negative stall_ms");
+  }
+}
+
+ComputeFaultPlan ComputeFaultModel::plan(std::uint64_t request,
+                                         std::uint64_t epoch) const {
+  ComputeFaultPlan out;
+  if (config_.perfect()) return out;  // zero draws, by contract
+  common::Rng rng(common::derive_stream_seed(config_.seed, request, epoch));
+  // Draw order is part of the replay contract: fire?, kind, payload seed.
+  if (rng.uniform() >= config_.fault_rate) return out;
+  const double total = config_.bitflip_weight + config_.stuck_weight +
+                       config_.truncate_weight + config_.stall_weight;
+  double pick = rng.uniform() * total;
+  if ((pick -= config_.bitflip_weight) < 0.0) {
+    out.kind = ComputeFaultKind::kBitFlips;
+  } else if ((pick -= config_.stuck_weight) < 0.0) {
+    out.kind = ComputeFaultKind::kStuckTile;
+  } else if ((pick -= config_.truncate_weight) < 0.0) {
+    out.kind = ComputeFaultKind::kTruncate;
+  } else {
+    out.kind = ComputeFaultKind::kStall;
+    out.stall_ms = config_.stall_ms;
+  }
+  out.payload_seed = rng();
+  return out;
+}
+
+namespace {
+
+/// Shared word-level corruption over an integer view of the output.  The
+/// payload stream is consumed in a fixed order per kind, so a plan always
+/// produces the same corruption on the same-shaped buffer.
+template <typename Word>
+std::size_t corrupt_words(std::span<Word> words, std::size_t row_width,
+                          const ComputeFaultPlan& plan,
+                          const ComputeFaultConfig& config,
+                          unsigned truncate_bits) {
+  if (words.empty() || !plan.silent()) return 0;
+  constexpr unsigned kBits = sizeof(Word) * 8;
+  common::Rng rng(plan.payload_seed);
+  std::size_t changed = 0;
+  switch (plan.kind) {
+    case ComputeFaultKind::kBitFlips: {
+      const std::size_t flips =
+          1 + static_cast<std::size_t>(rng.below(config.max_bit_flips));
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t bit = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint64_t>(words.size()) * kBits));
+        Word& w = words[bit / kBits];
+        const Word before = w;
+        w = static_cast<Word>(w ^ (Word{1} << (bit % kBits)));
+        if (w != before) ++changed;
+      }
+      break;
+    }
+    case ComputeFaultKind::kStuckTile: {
+      const std::size_t width = row_width > 0 ? row_width : words.size();
+      const std::size_t height = (words.size() + width - 1) / width;
+      const std::size_t side = config.tile_side;
+      const std::size_t x0 = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(width)));
+      const std::size_t y0 = static_cast<std::size_t>(
+          rng.below(static_cast<std::uint64_t>(height)));
+      const Word stuck = static_cast<Word>(rng());
+      for (std::size_t y = y0; y < y0 + side && y < height; ++y) {
+        for (std::size_t x = x0; x < x0 + side && x < width; ++x) {
+          const std::size_t i = y * width + x;
+          if (i >= words.size()) break;
+          if (words[i] != stuck) {
+            words[i] = stuck;
+            ++changed;
+          }
+        }
+      }
+      break;
+    }
+    case ComputeFaultKind::kTruncate: {
+      const Word mask = static_cast<Word>(
+          ~Word{0} << (truncate_bits < kBits ? truncate_bits : kBits - 1));
+      for (Word& w : words) {
+        const Word before = w;
+        w = static_cast<Word>(w & mask);
+        if (w != before) ++changed;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::size_t ComputeFaultModel::corrupt(std::span<std::uint16_t> words,
+                                       std::size_t row_width,
+                                       const ComputeFaultPlan& plan) const {
+  return corrupt_words<std::uint16_t>(words, row_width, plan, config_,
+                                      config_.truncate_bits);
+}
+
+std::size_t ComputeFaultModel::corrupt(std::span<float> values,
+                                       std::size_t row_width,
+                                       const ComputeFaultPlan& plan) const {
+  // Corrupt the IEEE-754 bit patterns through a uint32 view; for floats a
+  // "truncated datapath" loses low *mantissa* bits, which is the same
+  // low-bits mask.
+  static_assert(sizeof(float) == sizeof(std::uint32_t));
+  std::span<std::uint32_t> bits{
+      reinterpret_cast<std::uint32_t*>(values.data()), values.size()};
+  return corrupt_words<std::uint32_t>(bits, row_width, plan, config_,
+                                      config_.truncate_bits);
+}
+
+}  // namespace spacefts::fault

@@ -101,8 +101,12 @@ IngestResult IngestGuard::ingest(std::span<const std::uint8_t> bytes) const {
   // 4. Preprocess (a no-op at Λ = 0 by construction).
   {
     SPACEFTS_TSPAN("ingest.preprocess", {"lambda", config_.algo.lambda});
-    const core::AlgoNgst algo(config_.algo);
-    result.preprocess = algo.preprocess(stack);
+    if (config_.executor) {
+      result.preprocess = config_.executor(stack, config_.algo);
+    } else {
+      const core::AlgoNgst algo(config_.algo);
+      result.preprocess = algo.preprocess(stack);
+    }
   }
   telemetry::counter("ingest.pixels_corrected")
       .add(result.preprocess.pixels_corrected);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <string>
@@ -37,6 +38,14 @@ struct IngestConfig {
   /// Refuse baselines with fewer readouts than this (temporal voting needs
   /// neighbours to consult).
   std::size_t min_readouts = 3;
+  /// Optional compute executor.  When set, step 4 routes the stack
+  /// preprocessing through it instead of running AlgoNgst inline — this is
+  /// how the serve tier swaps in a pluggable (possibly untrusted, possibly
+  /// shadow-guarded) backend without ingest knowing any of that exists.
+  /// Must be semantically equivalent to AlgoNgst(config).preprocess(stack).
+  std::function<core::AlgoNgstReport(common::TemporalStack<std::uint16_t>&,
+                                     const core::AlgoNgstConfig&)>
+      executor;
 };
 
 /// Outcome of one baseline ingest.

@@ -28,6 +28,8 @@ const char* to_string(EjectReason reason) noexcept {
       return "congestion";
     case EjectReason::kKilled:
       return "killed";
+    case EjectReason::kComputeMismatch:
+      return "compute_mismatch";
   }
   return "?";
 }
@@ -62,6 +64,10 @@ EjectReason should_eject(const HealthPolicy& policy,
   if (policy.congestion_timeout_ms > 0.0 &&
       vitals.congested_ms > policy.congestion_timeout_ms) {
     return EjectReason::kCongestion;
+  }
+  if (policy.max_mismatch_burst > 0 &&
+      vitals.mismatch_burst >= policy.max_mismatch_burst) {
+    return EjectReason::kComputeMismatch;
   }
   return EjectReason::kNone;
 }

@@ -56,6 +56,13 @@ struct HealthPolicy {
   /// Completions a probation shard must serve (without re-ejection) to be
   /// promoted back to kHealthy.
   std::uint32_t probation_successes = 4;
+  /// Consecutive shadow-compare mismatches (compute results the guard
+  /// backend had to overrule) before the shard's compute substrate is
+  /// presumed degraded; 0 disables the check.  Note the outputs themselves
+  /// stay correct — the guard already substituted the trusted result — so
+  /// this is a *scheduling* signal: take the shard out before an unchecked
+  /// request escapes.
+  std::uint32_t max_mismatch_burst = 6;
 };
 
 /// \throws std::invalid_argument for non-positive timeouts/windows or a
@@ -70,6 +77,10 @@ struct ShardVitals {
   /// 0 when it currently has room.
   double congested_ms = 0.0;
   bool has_work = false;  ///< heartbeat age only matters under load
+  /// Consecutive completions on this shard whose compute was overruled by
+  /// the shadow guard (RequestResult::backend_mismatch); reset by any
+  /// clean completion.
+  std::uint32_t mismatch_burst = 0;
 };
 
 /// Why a shard was ejected (telemetry + stats labels).
@@ -79,6 +90,7 @@ enum class EjectReason : std::uint8_t {
   kFailureBurst,
   kCongestion,
   kKilled,  ///< explicit kill (chaos injection or operator action)
+  kComputeMismatch,  ///< shadow guard kept overruling the shard's compute
 };
 
 [[nodiscard]] const char* to_string(EjectReason reason) noexcept;

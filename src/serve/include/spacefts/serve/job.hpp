@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
+#include "spacefts/backend/backend.hpp"
 #include "spacefts/core/kernel.hpp"
 #include "spacefts/core/sensitivity.hpp"
 #include "spacefts/fault/message_faults.hpp"
@@ -48,6 +50,14 @@ struct ExecContext {
   /// topologies.  Υ is clamped to the job's frame budget; Λ is validated
   /// like any JobSpec Λ.  A throwing tuner fails the request (kFailed).
   std::function<core::OperatingPoint(const Request&)> tuner;
+  /// Compute backend every preprocessing stage executes on (NGST ingest,
+  /// pipeline fragments, OTIS planes); null = inline CPU compute, exactly
+  /// the pre-backend service.  Shared because one instance serves every
+  /// shard's workers concurrently — backends are thread-safe by contract.
+  /// Fault and shadow streams inside derive from (request id, epoch), so
+  /// results stay byte-identical across threads, shards, and replays:
+  /// serve main compute uses epoch 0, pipeline fragment i uses epoch 1+i.
+  std::shared_ptr<backend::Backend> backend;
 };
 
 /// Validates a JobSpec against the context.

@@ -99,6 +99,15 @@ struct RequestResult {
   /// resolves it when the result is recorded).
   core::Kernel kernel = core::Kernel::kAuto;
   std::uint32_t shard = 0;  ///< shard that resolved the request
+  /// Name of the compute backend that executed the job ("cpu" when the
+  /// context has none configured).  Static-lifetime string from
+  /// backend::Backend::name().
+  const char* backend = "cpu";
+  /// True when the request was shadow-sampled and the guard backend
+  /// overruled the primary's output (the trusted result was substituted,
+  /// so the payload fields above are still correct).  Feeds the router's
+  /// per-shard mismatch-burst vitals; not part of the result JSONL payload.
+  bool backend_mismatch = false;
 
   // ---- timing (wall clock; excluded from the deterministic JSONL) ------
   double queue_wait_ms = 0.0;  ///< admission to batch formation

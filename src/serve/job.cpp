@@ -100,6 +100,20 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
   ic.algo.kernel = ctx.kernel;
   result.lambda_eff = point.lambda;
   result.upsilon_eff = point.upsilon;
+  if (ctx.backend) {
+    // Main serve compute runs as epoch 0 of the request's backend stream
+    // (pipeline fragments get epochs 1+i below) — fixed so fault plans and
+    // shadow samples replay identically on any shard or thread count.
+    ic.executor = [&ctx, &request, &result](
+                      common::TemporalStack<std::uint16_t>& stack,
+                      const core::AlgoNgstConfig& algo) {
+      backend::ComputeOutcome outcome;
+      auto report = ctx.backend->preprocess(
+          stack, algo, backend::ComputeMeta{request.id, 0}, &outcome);
+      result.backend_mismatch |= outcome.shadow_mismatch;
+      return report;
+    };
+  }
   const ingest::IngestGuard guard(ic);
   auto ingested = guard.ingest(payload);
   if (!ingested.ok) {
@@ -127,6 +141,19 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
     pc.algo.upsilon = point.upsilon;
     pc.algo.kernel = ctx.kernel;
     pc.threads = ctx.algo_threads;
+    if (ctx.backend) {
+      pc.ngst_executor = [&ctx, &request, &result](
+                             common::TemporalStack<std::uint16_t>& tile,
+                             const core::AlgoNgstConfig& algo,
+                             std::size_t fragment) {
+        backend::ComputeOutcome outcome;
+        auto report = ctx.backend->preprocess(
+            tile, algo, backend::ComputeMeta{request.id, 1 + fragment},
+            &outcome);
+        result.backend_mismatch |= outcome.shadow_mismatch;
+        return report;
+      };
+    }
     common::Rng pipeline_rng(
         common::derive_stream_seed(job.seed, request.id, kStreamPipeline));
     const auto pipeline = dist::run_pipeline(ingested.stack, pc, pipeline_rng);
@@ -174,8 +201,17 @@ RequestResult execute_otis(const Request& request, bool corrupt_ingress,
   oc.kernel = ctx.kernel;
   result.lambda_eff = point.lambda;
   result.upsilon_eff = point.upsilon;
-  const core::AlgoOtis algo(oc);
-  const auto report = algo.preprocess(scene.radiance, scene.wavelengths_um);
+  core::AlgoOtisReport report;
+  if (ctx.backend) {
+    backend::ComputeOutcome outcome;
+    report = ctx.backend->preprocess(scene.radiance, scene.wavelengths_um, oc,
+                                     backend::ComputeMeta{request.id, 0},
+                                     &outcome);
+    result.backend_mismatch |= outcome.shadow_mismatch;
+  } else {
+    const core::AlgoOtis algo(oc);
+    report = algo.preprocess(scene.radiance, scene.wavelengths_um);
+  }
   result.pixels_corrected = report.bit_corrected + report.median_replaced;
   result.bits_corrected = report.bit_corrected;
   // The trend test is OTIS's false-alarm averter: natural exceptions it
@@ -226,6 +262,7 @@ RequestResult execute_job(const Request& request, bool corrupt_ingress,
                                ? execute_ngst(request, corrupt_ingress, ctx)
                                : execute_otis(request, corrupt_ingress, ctx);
     result.kernel = core::resolve_kernel(ctx.kernel);
+    result.backend = ctx.backend ? ctx.backend->name() : "cpu";
     return result;
   } catch (const std::exception& e) {
     RequestResult result;

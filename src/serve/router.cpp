@@ -53,6 +53,7 @@ struct Router::Shard {
   double heartbeat_ms = 0.0;       ///< last observed progress
   std::uint64_t last_retired = 0;  ///< retired-count snapshot behind it
   std::uint32_t consec_failures = 0;
+  std::uint32_t mismatch_burst = 0;  ///< consecutive shadow-overruled results
   double congested_since_ms = -1.0;  ///< < 0 when the queue has room
   double eject_at_ms = 0.0;
   std::uint32_t probation_ok = 0;  ///< completions since reboot
@@ -226,6 +227,7 @@ void Router::boot_shard_locked(std::size_t i) {
   slot.heartbeat_ms = now_ms();
   slot.last_retired = 0;
   slot.consec_failures = 0;
+  slot.mismatch_burst = 0;
   slot.congested_since_ms = -1.0;
   slot.probation_ok = 0;
   slot.crash_fired = false;
@@ -351,6 +353,15 @@ void Router::accept_locked(std::uint32_t i, RequestResult result) {
       ++slot.completed_total;
       ++slot.probation_ok;
       slot.consec_failures = 0;
+      // The shadow guard overruling this shard's compute is a health
+      // signal, not a payload error (the result already carries the
+      // trusted bytes): track the burst for the ejection policy.
+      if (result.backend_mismatch) {
+        ++slot.mismatch_burst;
+        telemetry::counter("serve.router.backend_mismatches").add();
+      } else {
+        slot.mismatch_burst = 0;
+      }
       break;
     case ServeStatus::kFailed:
       ++stats_.failed;
@@ -492,6 +503,7 @@ void Router::control_step() {
     vitals.heartbeat_age_ms = now - slot.heartbeat_ms;
     vitals.has_work = outstanding > 0;
     vitals.consecutive_failures = slot.consec_failures;
+    vitals.mismatch_burst = slot.mismatch_burst;
     const std::size_t depth = slot.server->queue_depth();
     if (depth >= config_.shard.capacity) {
       if (slot.congested_since_ms < 0.0) slot.congested_since_ms = now;

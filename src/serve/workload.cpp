@@ -237,7 +237,9 @@ std::string results_to_jsonl(std::vector<RequestResult> results) {
     out += ",\"kernel\":\"";
     out += core::kernel_name(r.kernel);
     out += "\",\"shard\":" + std::to_string(r.shard);
-    out += "}\n";
+    out += ",\"backend\":\"";
+    out += r.backend != nullptr ? r.backend : "cpu";
+    out += "\"}\n";
   }
   return out;
 }

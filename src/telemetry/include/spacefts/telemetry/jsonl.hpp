@@ -12,9 +12,13 @@
 /// These helpers are always available regardless of `SPACEFTS_TELEMETRY`.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace spacefts::telemetry::jsonl {
 
@@ -77,6 +81,99 @@ inline void append_fmt(std::string& out, const char* format, double value) {
   }
   std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
+  return true;
+}
+
+/// Extracts the raw token following `"key":` in a JSON-lines record — just
+/// enough parsing to build a dedupe key; not a JSON parser.  Tolerates a
+/// space after the colon (both row styles in the tree).  Returns "" when
+/// the key is absent (legacy records predating a field).
+[[nodiscard]] inline std::string json_field(std::string_view line,
+                                            std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle += '"';
+  needle += key;
+  needle += "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) return "";
+  std::size_t begin = pos + needle.size();
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    end = line.find('"', begin + 1);
+    return end == std::string_view::npos
+               ? ""
+               : std::string(line.substr(begin + 1, end - begin - 1));
+  }
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  return std::string(line.substr(begin, end - begin));
+}
+
+/// Hygiene guard for values destined for a BENCH_*.json row: a NaN or (for
+/// inherently non-negative metrics) negative reading means the harness is
+/// broken, and silently committing it would poison every downstream
+/// comparison — recorders must refuse the whole row instead.  Pass
+/// signed_ok for metrics that are legitimately signed differences.
+[[nodiscard]] inline bool valid_metric(double value, bool signed_ok = false) {
+  return std::isfinite(value) && (signed_ok || value >= 0.0);
+}
+
+/// Rewrites the JSONL file at \p path so it holds exactly one row per
+/// configuration, then appends the rows of \p text (each ending in '\n').
+/// `key_of` maps a row to its configuration identity; among duplicates the
+/// newest row wins.  This is the shared upsert under every BENCH_*.json
+/// recorder — re-running a bench or campaign replaces its rows instead of
+/// accumulating them.  Returns false (with a message on stderr) when the
+/// file cannot be rewritten.
+inline bool upsert_jsonl(
+    std::string_view text,
+    const std::function<std::string(std::string_view)>& key_of,
+    const std::string& path) {
+  std::vector<std::string> fresh;
+  for (std::size_t begin = 0; begin < text.size();) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) end = text.size();
+    if (end > begin) fresh.emplace_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  std::vector<std::string> existing;
+  {
+    std::ifstream in(path);
+    std::string row;
+    while (std::getline(in, row))
+      if (!row.empty()) existing.push_back(row);
+  }
+  const auto superseded = [&](const std::string& key, std::size_t after) {
+    for (std::size_t j = after; j < existing.size(); ++j)
+      if (key_of(existing[j]) == key) return true;
+    for (const std::string& row : fresh)
+      if (key_of(row) == key) return true;
+    return false;
+  };
+  std::string out_text;
+  for (std::size_t i = 0; i < existing.size(); ++i) {
+    if (!superseded(key_of(existing[i]), i + 1)) {
+      out_text += existing[i];
+      out_text += '\n';
+    }
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    // Among the fresh rows themselves the last write of a key wins too.
+    bool last = true;
+    for (std::size_t j = i + 1; j < fresh.size() && last; ++j)
+      last = key_of(fresh[j]) != key_of(fresh[i]);
+    if (last) {
+      out_text += fresh[i];
+      out_text += '\n';
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "jsonl: cannot rewrite %s\n", path.c_str());
+    return false;
+  }
+  out << out_text;
   return true;
 }
 

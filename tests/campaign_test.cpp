@@ -4,10 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "spacefts/campaign/campaign.hpp"
+#include "spacefts/campaign/compute_sweep.hpp"
 #include "spacefts/common/random.hpp"
 #include "spacefts/edac/crc32.hpp"
 #include "spacefts/fault/message_faults.hpp"
@@ -184,4 +186,70 @@ TEST(Campaign, CrcFramingDetectsEveryCorruptionIn10kMessages) {
     EXPECT_FALSE(se::frame_verify(frame)) << "message " << message;
   }
   EXPECT_GE(corrupted_bits_total, 10000u);  // at least one flip per message
+}
+
+// ------------------------------------------------- untrusted-compute sweep ---
+
+TEST(ComputeSweep, AccountingHoldsAndFullShadowEscapesNothing) {
+  sc::ComputeSweepConfig config;
+  config.fault_rate_grid = {0.0, 0.4};
+  config.shadow_rate_grid = {0.0, 0.5, 1.0};
+  config.requests = 16;
+  config.side = 12;
+  config.frames = 6;
+  const auto report = sc::run_compute_sweep(config);
+  ASSERT_EQ(report.cells.size(), 6u);
+
+  std::string diagnostics;
+  EXPECT_EQ(sc::enforce(report, diagnostics), 0u) << diagnostics;
+
+  std::size_t injected_total = 0;
+  for (const auto& cell : report.cells) {
+    EXPECT_EQ(cell.escaped, cell.injected - cell.detected);
+    if (cell.fault_rate == 0.0) {
+      EXPECT_EQ(cell.injected, 0u);
+      EXPECT_EQ(cell.detected, 0u);
+    }
+    if (cell.shadow_rate >= 1.0) {
+      EXPECT_EQ(cell.escaped, 0u);
+    }
+    injected_total += cell.injected;
+  }
+  EXPECT_GT(injected_total, 0u) << "rate 0.4 never corrupted an output";
+
+  // Determinism: the same config reproduces the same rows byte for byte.
+  EXPECT_EQ(sc::to_jsonl(sc::run_compute_sweep(config)),
+            sc::to_jsonl(report));
+}
+
+TEST(ComputeSweep, RowKeySeparatesComputeAndClassicCampaignRows) {
+  // Both row schemas coexist in BENCH_campaign.json; the shared key must
+  // never collide them or merge distinct grid cells.
+  const std::string compute_row =
+      "{\"bench\":\"compute_shadow\",\"fault_rate\":0.1,"
+      "\"shadow_rate\":0.5,\"requests\":48}";
+  const std::string compute_row2 =
+      "{\"bench\":\"compute_shadow\",\"fault_rate\":0.1,"
+      "\"shadow_rate\":1,\"requests\":48}";
+  const std::string classic_row =
+      "{\"bench\":\"fault_campaign\",\"gamma0\":0.002,\"crash_prob\":0.1,"
+      "\"link_loss\":0.3,\"lambda\":80}";
+  EXPECT_NE(sc::campaign_row_key(compute_row),
+            sc::campaign_row_key(compute_row2));
+  EXPECT_NE(sc::campaign_row_key(compute_row),
+            sc::campaign_row_key(classic_row));
+  EXPECT_EQ(sc::campaign_row_key(compute_row),
+            sc::campaign_row_key(compute_row));
+}
+
+TEST(ComputeSweep, RejectsMalformedGrids) {
+  sc::ComputeSweepConfig config;
+  config.fault_rate_grid = {};
+  EXPECT_THROW((void)sc::run_compute_sweep(config), std::invalid_argument);
+  config = {};
+  config.shadow_rate_grid = {1.5};
+  EXPECT_THROW((void)sc::run_compute_sweep(config), std::invalid_argument);
+  config = {};
+  config.requests = 0;
+  EXPECT_THROW((void)sc::run_compute_sweep(config), std::invalid_argument);
 }

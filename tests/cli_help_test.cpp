@@ -1,0 +1,84 @@
+// The CLI's help surface is part of its scriptable contract: `help` must
+// list every verb (version included), and every verb that executes
+// preprocessing compute must document its --kernel and --backend flags the
+// same way.  These tests drive the real binary (path injected by CMake) so
+// the assertion covers what users actually see.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#ifndef SPACEFTS_CLI_PATH
+#error "SPACEFTS_CLI_PATH must point at the spacefts_cli binary"
+#endif
+
+namespace {
+
+/// Runs `spacefts_cli <args>` and captures stdout (help goes to stdout on
+/// the explicit `help` verb).
+std::string cli_stdout(const std::string& args) {
+  const std::string command = std::string(SPACEFTS_CLI_PATH) + " " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  if (pipe == nullptr) return {};
+  std::string out;
+  std::array<char, 4096> chunk{};
+  std::size_t n = 0;
+  while ((n = fread(chunk.data(), 1, chunk.size(), pipe)) > 0) {
+    out.append(chunk.data(), n);
+  }
+  pclose(pipe);
+  return out;
+}
+
+/// Every verb the CLI dispatches.  A new verb must appear here and in the
+/// help table — this list is the test's single point of maintenance.
+constexpr const char* kVerbs[] = {"gen",  "corrupt",  "ingest",   "info",
+                                  "psi",  "pipeline", "campaign", "serve",
+                                  "check", "version",  "help"};
+
+TEST(CliHelp, GlobalUsageListsEveryVerb) {
+  const std::string help = cli_stdout("help");
+  ASSERT_FALSE(help.empty());
+  for (const char* verb : kVerbs) {
+    EXPECT_NE(help.find(std::string("spacefts_cli ") + verb),
+              std::string::npos)
+        << "verb '" << verb << "' missing from global help";
+  }
+}
+
+TEST(CliHelp, PerVerbHelpIsConsistentForComputeFlags) {
+  // The verbs that execute the preprocessing kernels document --kernel...
+  for (const char* verb : {"ingest", "pipeline", "serve", "check"}) {
+    const std::string help = cli_stdout(std::string("help ") + verb);
+    EXPECT_NE(help.find("--kernel"), std::string::npos)
+        << "'" << verb << "' help does not document --kernel";
+  }
+  // ...and the ones that can run on a pluggable substrate document the
+  // backend family the same way.
+  for (const char* verb : {"pipeline", "serve"}) {
+    const std::string help = cli_stdout(std::string("help ") + verb);
+    EXPECT_NE(help.find("--backend cpu|unreliable|shadowed"),
+              std::string::npos)
+        << "'" << verb << "' help does not document --backend";
+    EXPECT_NE(help.find("--compute-fault-rate"), std::string::npos)
+        << "'" << verb << "' help does not document --compute-fault-rate";
+    EXPECT_NE(help.find("--shadow-rate"), std::string::npos)
+        << "'" << verb << "' help does not document --shadow-rate";
+  }
+  // The campaign's compute sweep rides the same subsystem.
+  const std::string campaign = cli_stdout("help campaign");
+  EXPECT_NE(campaign.find("--compute"), std::string::npos);
+  EXPECT_NE(campaign.find("--shadow-rates"), std::string::npos);
+}
+
+TEST(CliHelp, EveryVerbHasPerVerbHelp) {
+  for (const char* verb : kVerbs) {
+    const std::string help = cli_stdout(std::string("help ") + verb);
+    EXPECT_NE(help.find(verb), std::string::npos)
+        << "no per-verb help for '" << verb << "'";
+  }
+}
+
+}  // namespace

@@ -31,7 +31,9 @@
 ///       sweep a seeded fault-injection grid over the distributed pipeline,
 ///       append one JSON line per grid cell to --out (default
 ///       BENCH_campaign.json), and with --enforce exit non-zero on any
-///       survival or clean-memory-coverage regression
+///       survival or clean-memory-coverage regression; --compute switches
+///       to the untrusted-compute sweep (--fault-rates x --shadow-rates,
+///       detected-vs-escaped accounting per cell)
 ///   spacefts_cli serve [--replay <workload.jsonl> | synthetic-workload
 ///                      flags] [server flags]
 ///       run the preprocessing service over a workload: either replay a
@@ -57,6 +59,17 @@
 ///                         (open in chrome://tracing or Perfetto)
 ///   --metrics-out <file>  write the telemetry counters/histograms as JSONL
 ///
+/// `pipeline` and `serve` additionally accept the compute-backend flags
+///   --backend cpu|unreliable|shadowed   which compute substrate runs the
+///                         preprocessing (default: the inline CPU path)
+///   --compute-fault-rate X / --compute-fault-seed S   the unreliable
+///                         substrate's silent-corruption model
+///   --shadow-rate X       fraction of requests the shadowed backend
+///                         re-executes on the trusted CPU and byte-compares
+///                         (default 1.0: every mismatch caught + repaired)
+///   --backend-log <file>  (serve/pipeline, shadowed only) write the
+///                         guard's per-request decision log as JSONL
+///
 /// Exit codes: 0 success, 1 operation failed, 2 usage error (unknown verb,
 /// missing positionals), 3 bad flag (unknown flag or malformed value).
 #include <cerrno>
@@ -64,14 +77,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "spacefts/backend/backend.hpp"
 #include "spacefts/campaign/campaign.hpp"
+#include "spacefts/campaign/compute_sweep.hpp"
 #include "spacefts/campaign/drift.hpp"
 #include "spacefts/check/corpus.hpp"
 #include "spacefts/control/bank.hpp"
@@ -89,6 +106,7 @@
 #include "spacefts/serve/router.hpp"
 #include "spacefts/serve/server.hpp"
 #include "spacefts/serve/workload.hpp"
+#include "spacefts/telemetry/jsonl.hpp"
 #include "spacefts/telemetry/telemetry.hpp"
 
 #ifndef SPACEFTS_VERSION
@@ -123,6 +141,9 @@ constexpr VerbHelp kVerbHelp[] = {
      "                [--gamma0 X] [--crash X] [--link-loss X] [--lambda X]\n"
      "                [--retries N] [--seed S] [--threads N]"
      " [--kernel auto|scalar|swar|avx2]\n"
+     "                [--backend cpu|unreliable|shadowed]"
+     " [--compute-fault-rate X]\n"
+     "                [--compute-fault-seed S] [--shadow-rate X]\n"
      "                [--control-budget-ms X]\n"},
     {"campaign",
      "  spacefts_cli campaign [--gamma0 a,b] [--crash a,b]"
@@ -133,7 +154,10 @@ constexpr VerbHelp kVerbHelp[] = {
      "                [--control [--phase-len N] [--shards N]"
      " [--shard-kill I@C]\n"
      "                [--control-budget-ms X]] (drifting-gamma0 controller"
-     " sweep)\n"},
+     " sweep)\n"
+     "                [--compute [--fault-rates a,b] [--shadow-rates a,b]\n"
+     "                [--requests N]] (compute-fault x shadow-rate"
+     " detected-vs-escaped sweep)\n"},
     {"serve",
      "  spacefts_cli serve [--replay file | --requests N --rate X"
      " [--otis-frac X]\n"
@@ -149,6 +173,10 @@ constexpr VerbHelp kVerbHelp[] = {
      "                [--shard-slow X] [--results-out file]"
      " [--workload-out file] [--gen-only]\n"
      "                [--kernel auto|scalar|swar|avx2]\n"
+     "                [--backend cpu|unreliable|shadowed]"
+     " [--compute-fault-rate X]\n"
+     "                [--compute-fault-seed S] [--shadow-rate X]"
+     " [--backend-log file]\n"
      "                [--control] [--control-out file]"
      " [--control-budget-ms X]\n"
      "                [--control-window N] [--control-lag N]\n"},
@@ -229,6 +257,127 @@ int bad_flag(const std::string& flag, const char* detail) {
 [[nodiscard]] bool parse_kernel_flag(const char* text,
                                      spacefts::core::Kernel& out) {
   return text != nullptr && spacefts::core::parse_kernel(text, out);
+}
+
+/// Shared --backend/--shadow-rate/--compute-fault-* handling across the
+/// verbs that execute preprocessing compute (serve, pipeline).
+struct BackendOptions {
+  std::string kind = "cpu";  ///< cpu | unreliable | shadowed
+  bool kind_set = false;     ///< --backend appeared explicitly
+  /// Guard sample fraction under --backend shadowed.  The CLI default is
+  /// 1.0 — check everything — so the shadowed path is payload-safe out of
+  /// the box; production-style sampling opts down via --shadow-rate.
+  double shadow_rate = 1.0;
+  bool shadow_rate_set = false;
+  double fault_rate = 0.0;  ///< --compute-fault-rate
+  bool fault_rate_set = false;
+  std::uint64_t fault_seed = spacefts::fault::ComputeFaultConfig{}.seed;
+  bool fault_seed_set = false;
+  std::string log_out;  ///< --backend-log (shadowed only)
+
+  /// Post-parse consistency: flag combinations that cannot mean anything.
+  /// Returns nullptr when consistent, else the complaint for bad_flag().
+  [[nodiscard]] const char* validate() const {
+    if (kind != "cpu" && kind != "unreliable" && kind != "shadowed") {
+      return "--backend must be cpu, unreliable, or shadowed";
+    }
+    if (shadow_rate_set && kind != "shadowed") {
+      return "--shadow-rate requires --backend shadowed";
+    }
+    if ((fault_rate_set || fault_seed_set) && kind == "cpu") {
+      return "--compute-fault-rate/--compute-fault-seed require --backend "
+             "unreliable or shadowed";
+    }
+    if (!log_out.empty() && kind != "shadowed") {
+      return "--backend-log requires --backend shadowed";
+    }
+    if (!(shadow_rate >= 0.0 && shadow_rate <= 1.0)) {
+      return "--shadow-rate outside [0, 1]";
+    }
+    if (!(fault_rate >= 0.0 && fault_rate <= 1.0)) {
+      return "--compute-fault-rate outside [0, 1]";
+    }
+    return nullptr;
+  }
+
+  /// Builds the configured backend stack; null when the flags ask for the
+  /// legacy inline-CPU path (no --backend at all).  When the stack includes
+  /// a shadow guard, \p shadow receives it so the caller can export the
+  /// decision log and health counters.
+  [[nodiscard]] std::shared_ptr<spacefts::backend::Backend> build(
+      std::shared_ptr<spacefts::backend::ShadowBackend>* shadow) const {
+    namespace be = spacefts::backend;
+    if (!kind_set) return nullptr;
+    auto cpu = std::make_shared<be::CpuBackend>();
+    if (kind == "cpu") return cpu;
+    spacefts::fault::ComputeFaultConfig faults;
+    faults.fault_rate = fault_rate;
+    faults.seed = fault_seed;
+    auto unreliable = std::make_shared<be::UnreliableBackend>(cpu, faults);
+    if (kind == "unreliable") return unreliable;
+    be::ShadowConfig sc;
+    sc.shadow_rate = shadow_rate;
+    auto shadowed = std::make_shared<be::ShadowBackend>(unreliable, cpu, sc);
+    if (shadow != nullptr) *shadow = shadowed;
+    return shadowed;
+  }
+};
+
+/// Folds one backend flag into \p opts.  Returns 1 when consumed, 0 when
+/// \p arg is not a backend flag, and a negative exit code (-kExitBadFlag)
+/// on a malformed value.
+template <typename ValueFn>
+int parse_backend_flag(const std::string& arg, ValueFn&& value,
+                       BackendOptions& opts) {
+  if (arg == "--backend") {
+    const char* v = value();
+    if (v == nullptr) return -bad_flag(arg, "missing backend name");
+    opts.kind = v;
+    opts.kind_set = true;
+    return 1;
+  }
+  if (arg == "--shadow-rate") {
+    if (!parse_double(value(), opts.shadow_rate)) {
+      return -bad_flag(arg, "bad value");
+    }
+    opts.shadow_rate_set = true;
+    return 1;
+  }
+  if (arg == "--compute-fault-rate") {
+    if (!parse_double(value(), opts.fault_rate)) {
+      return -bad_flag(arg, "bad value");
+    }
+    opts.fault_rate_set = true;
+    return 1;
+  }
+  if (arg == "--compute-fault-seed") {
+    if (!parse_u64(value(), opts.fault_seed)) {
+      return -bad_flag(arg, "bad value");
+    }
+    opts.fault_seed_set = true;
+    return 1;
+  }
+  if (arg == "--backend-log") {
+    const char* v = value();
+    if (v == nullptr) return -bad_flag(arg, "missing file argument");
+    opts.log_out = v;
+    return 1;
+  }
+  return 0;
+}
+
+/// Exports a shadow guard's canonical decision log (sorted, deduplicated)
+/// as JSON-lines, replacing any previous run's log.
+[[nodiscard]] bool write_backend_log(
+    const std::string& path,
+    const std::shared_ptr<spacefts::backend::ShadowBackend>& shadow) {
+  std::ofstream out(path, std::ios::trunc);
+  out << spacefts::backend::decisions_to_jsonl(shadow->decisions());
+  if (!out) {
+    std::fprintf(stderr, "spacefts_cli: cannot write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Early writability probe for output-path flags: a typo'd directory should
@@ -552,11 +701,16 @@ int cmd_pipeline(int argc, char** argv) {
   std::uint64_t seed = 42;
   spacefts::core::Kernel kernel = spacefts::core::Kernel::kAuto;
   TelemetryOptions telem;
+  BackendOptions bopts;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (const int brc = parse_backend_flag(arg, value, bopts)) {
+      if (brc < 0) return -brc;
+      continue;
+    }
     if (arg == "--side") {
       if (!parse_size(value(), side)) return bad_flag(arg, "bad value");
     } else if (arg == "--frames") {
@@ -602,6 +756,7 @@ int cmd_pipeline(int argc, char** argv) {
       return usage();
     }
   }
+  if (const char* err = bopts.validate()) return bad_flag("--backend", err);
 
   telem.arm();
   spacefts::datagen::NgstSimulator gen(seed);
@@ -640,6 +795,18 @@ int cmd_pipeline(int argc, char** argv) {
   pc.algo.kernel = kernel;
   pc.threads = threads;
   pc.max_link_retries = retries;
+  std::shared_ptr<spacefts::backend::ShadowBackend> shadow;
+  if (const auto backend = bopts.build(&shadow)) {
+    // Fragment i computes as epoch 1 + i so fault plans and shadow samples
+    // are per-fragment, matching the serving tier's pipeline epochs.
+    pc.ngst_executor = [backend](
+                           spacefts::common::TemporalStack<std::uint16_t>& tile,
+                           const spacefts::core::AlgoNgstConfig& cfg,
+                           std::size_t fragment) {
+      const spacefts::backend::ComputeMeta meta{0, 1 + fragment};
+      return backend->preprocess(tile, cfg, meta, nullptr);
+    };
+  }
   if (control_budget_ms > 0.0) {
     // Open-loop controller fit: the hottest (lambda, upsilon) whose virtual
     // cost for this job keeps headroom under the budget.  Overrides
@@ -675,6 +842,17 @@ int cmd_pipeline(int argc, char** argv) {
       result.faults_injected, result.pixels_corrected, result.link_retries,
       result.crc_failures, result.byzantine_rejected, result.worker_crashes,
       result.reassignments, result.degraded_fragments);
+  if (shadow) {
+    const auto health = shadow->health();
+    std::printf(
+        "  shadow guard: %zu executed, %zu sampled, %zu mismatches%s\n",
+        health.executed, health.sampled, health.mismatches,
+        health.quarantined ? " [QUARANTINE]" : "");
+    if (!bopts.log_out.empty() &&
+        !write_backend_log(bopts.log_out, shadow)) {
+      return kExitFailure;
+    }
+  }
   return telem.finish();
 }
 
@@ -703,6 +881,11 @@ int cmd_campaign(int argc, char** argv) {
   std::size_t phase_len = 96, drift_shards = 0;
   std::vector<std::pair<std::size_t, std::uint64_t>> drift_kills;
   double control_budget_ms = 0.0;
+  // Compute-fault x shadow-rate sweep (--compute): detected-vs-escaped
+  // curve for the backend subsystem's untrusted-accelerator axis.
+  bool compute_mode = false;
+  spacefts::campaign::ComputeSweepConfig compute_cfg;
+  bool fault_rates_set = false, shadow_rates_set = false, requests_set = false;
   TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -729,6 +912,24 @@ int cmd_campaign(int argc, char** argv) {
       lambda_set = true;
     } else if (arg == "--control") {
       control_mode = true;
+    } else if (arg == "--compute") {
+      compute_mode = true;
+    } else if (arg == "--fault-rates") {
+      if (!parse_grid(value(), compute_cfg.fault_rate_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
+      fault_rates_set = true;
+    } else if (arg == "--shadow-rates") {
+      if (!parse_grid(value(), compute_cfg.shadow_rate_grid)) {
+        return bad_flag(arg, "bad grid value");
+      }
+      shadow_rates_set = true;
+    } else if (arg == "--requests") {
+      if (!parse_size(value(), compute_cfg.requests) ||
+          compute_cfg.requests == 0) {
+        return bad_flag(arg, "bad value");
+      }
+      requests_set = true;
     } else if (arg == "--phase-len") {
       if (!parse_size(value(), phase_len) || phase_len == 0) {
         return bad_flag(arg, "bad value");
@@ -791,6 +992,53 @@ int cmd_campaign(int argc, char** argv) {
       (drift_shards > 0 || !drift_kills.empty() || control_budget_ms > 0.0)) {
     return bad_flag("--shards/--shard-kill/--control-budget-ms",
                     "require --control");
+  }
+  if (control_mode && compute_mode) {
+    return bad_flag("--compute", "incompatible with --control");
+  }
+  if (!compute_mode && (fault_rates_set || shadow_rates_set || requests_set)) {
+    return bad_flag("--fault-rates/--shadow-rates/--requests",
+                    "require --compute");
+  }
+
+  if (compute_mode) {
+    compute_cfg.seed = config.seed;
+    telem.arm();
+    spacefts::campaign::ComputeSweepReport report;
+    try {
+      report = spacefts::campaign::run_compute_sweep(compute_cfg);
+    } catch (const std::invalid_argument& ex) {
+      return bad_flag("--fault-rates/--shadow-rates", ex.what());
+    }
+    std::printf("%-12s %-12s %8s %8s %8s %8s %8s %s\n", "fault_rate",
+                "shadow_rate", "requests", "injected", "detected", "escaped",
+                "stalls", "quarantine");
+    for (const auto& c : report.cells) {
+      std::printf("%-12g %-12g %8zu %8zu %8zu %8zu %8zu %s\n", c.fault_rate,
+                  c.shadow_rate, c.requests, c.injected, c.detected, c.escaped,
+                  c.stalls, c.quarantined ? "yes" : "no");
+    }
+    if (!spacefts::telemetry::jsonl::upsert_jsonl(
+            spacefts::campaign::to_jsonl(report),
+            spacefts::campaign::campaign_row_key, out_path)) {
+      std::fprintf(stderr, "campaign: cannot write %s\n", out_path.c_str());
+      return kExitFailure;
+    }
+    std::printf("campaign: compute sweep, %zu cells; appended to %s\n",
+                report.cells.size(), out_path.c_str());
+    const int telem_rc = telem.finish();
+    if (enforce) {
+      std::string diagnostics;
+      const std::size_t violations =
+          spacefts::campaign::enforce(report, diagnostics);
+      if (violations > 0) {
+        std::fprintf(stderr, "campaign enforce: %zu violation(s)\n%s",
+                     violations, diagnostics.c_str());
+        return kExitFailure;
+      }
+      std::printf("campaign enforce: pass\n");
+    }
+    return telem_rc;
   }
 
   if (control_mode) {
@@ -896,12 +1144,17 @@ int cmd_serve(int argc, char** argv) {
   spec.ngst_side = 16;
   spec.ngst_frames = 8;
   TelemetryOptions telem;
+  BackendOptions bopts;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    if (const int brc = parse_backend_flag(arg, value, bopts)) {
+      if (brc < 0) return -brc;
+      continue;
+    }
     if (arg == "--replay") {
       const char* v = value();
       if (v == nullptr) return bad_flag(arg, "missing file argument");
@@ -1061,6 +1314,7 @@ int cmd_serve(int argc, char** argv) {
   if (!control_enabled && !control_out.empty()) {
     return bad_flag("--control-out", "requires --control");
   }
+  if (const char* err = bopts.validate()) return bad_flag("--backend", err);
   if (control_enabled && config.workers == 0) {
     return bad_flag("--control",
                     "requires --threads > 0 (the admission gate needs a "
@@ -1073,7 +1327,8 @@ int cmd_serve(int argc, char** argv) {
       {"--metrics-out", &telem.metrics_out},
       {"--results-out", &results_out},
       {"--workload-out", &workload_out},
-      {"--control-out", &control_out}};
+      {"--control-out", &control_out},
+      {"--backend-log", &bopts.log_out}};
   for (const auto& [flag, path] : out_paths) {
     if (!path->empty() && !probe_writable(*path)) {
       return bad_flag(flag, "cannot open for writing");
@@ -1107,6 +1362,12 @@ int cmd_serve(int argc, char** argv) {
   if (gen_only) return 0;
 
   telem.arm();
+  // One backend stack shared by every shard: the shadow guard's health is
+  // a property of the accelerator substrate, not of any one shard, and its
+  // per-(request, epoch) streams are order-independent so sharing stays
+  // deterministic.
+  std::shared_ptr<spacefts::backend::ShadowBackend> shadow;
+  config.exec.backend = bopts.build(&shadow);
   // The controller bank outlives the server/router so every worker-thread
   // tuner call and result observation lands on live state.
   std::optional<spacefts::control::ControllerBank> bank;
@@ -1219,6 +1480,16 @@ int cmd_serve(int argc, char** argv) {
         static_cast<unsigned long long>(stats.ingress_duplicates));
   }
 
+  if (shadow) {
+    const auto health = shadow->health();
+    std::printf("shadow guard: %zu executed, %zu sampled, %zu mismatches%s\n",
+                health.executed, health.sampled, health.mismatches,
+                health.quarantined ? " [QUARANTINE]" : "");
+    if (!bopts.log_out.empty()) {
+      if (!write_backend_log(bopts.log_out, shadow)) return kExitFailure;
+      std::printf("wrote backend decisions %s\n", bopts.log_out.c_str());
+    }
+  }
   if (bank) {
     std::printf("control: %zu stream controller(s), %zu decision(s)\n",
                 bank->stream_count(), bank->decisions().size());
