@@ -272,8 +272,8 @@ std::string to_jsonl(const CampaignReport& report) {
 std::string campaign_row_key(std::string_view line) {
   namespace jsonl = telemetry::jsonl;
   std::string key = jsonl::json_field(line, "bench");
-  for (const char* axis : {"gamma0", "crash_prob", "link_loss", "lambda",
-                           "fault_rate", "shadow_rate"}) {
+  for (const char* axis : {"workload", "gamma0", "crash_prob", "link_loss",
+                           "lambda", "fault_rate", "shadow_rate"}) {
     key += '|';
     key += jsonl::json_field(line, axis);
   }

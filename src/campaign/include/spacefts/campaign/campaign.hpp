@@ -100,8 +100,9 @@ void append_jsonl(const CampaignReport& report, const std::string& path);
 /// The row-identity key the campaign artifact dedupes on: the bench name
 /// plus every axis field present in the row (fault_campaign rows key on
 /// (gamma0, crash_prob, link_loss, lambda); compute_shadow rows on
-/// (fault_rate, shadow_rate); absent fields contribute "").  Shared with
-/// the compute-sweep recorder and the CI validator.
+/// (fault_rate, shadow_rate); downlink_fidelity rows on (workload, gamma0,
+/// link_loss, lambda); absent fields contribute "").  Shared with the
+/// compute-sweep and downlink-sweep recorders and the CI validator.
 [[nodiscard]] std::string campaign_row_key(std::string_view line);
 
 /// Robustness gate: returns the number of violations (0 = pass) and

@@ -12,7 +12,7 @@ using telemetry::jsonl::append_fmt;
 
 constexpr const char* kFamilyNames[kCaseFamilyCount] = {
     "ngst_diff",      "otis_diff", "rice_roundtrip", "crc_frame",
-    "hamming",        "properties", "serve_workload",
+    "hamming",        "properties", "serve_workload", "downlink",
 };
 
 /// Strict double parse of a whole token.

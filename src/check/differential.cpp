@@ -338,6 +338,11 @@ CaseResult run_case(const CaseSpec& spec, const RunOptions& options) {
               result);
         apply(check_serve_determinism(rng), "serve_determinism", result);
         break;
+      case CaseFamily::kDownlink:
+        apply(check_downlink_roundtrip(rng), "downlink_roundtrip", result);
+        apply(check_downlink_corrupt_contract(rng), "downlink_corrupt_contract",
+              result);
+        break;
     }
   } catch (const std::exception& error) {
     result.ok = false;

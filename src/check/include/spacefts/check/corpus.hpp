@@ -27,9 +27,10 @@ enum class CaseFamily : std::uint8_t {
   kHamming,        ///< Hamming(72,64) 1-flip-corrects / 2-flip-detects
   kProperties,     ///< Λ-monotonicity, window-C invariance, idempotence
   kServeWorkload,  ///< workload JSONL round-trip + serve determinism
+  kDownlink,       ///< compressed-HDU/frame round-trip + corrupt contract
 };
 
-inline constexpr std::size_t kCaseFamilyCount = 7;
+inline constexpr std::size_t kCaseFamilyCount = 8;
 
 /// Stable lowercase name used in the corpus JSONL ("ngst_diff", ...).
 [[nodiscard]] const char* to_string(CaseFamily family) noexcept;

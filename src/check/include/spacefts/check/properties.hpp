@@ -107,4 +107,20 @@ struct PropertyResult {
 /// (manual step mode) yields byte-identical deterministic result JSONL.
 [[nodiscard]] PropertyResult check_serve_determinism(common::Rng& rng);
 
+// ---- downlink -------------------------------------------------------------
+
+/// Compressed-HDU and downlink-frame round-trip: random images (1-row
+/// telemetry shapes included) survive make_compressed_hdu → serialize →
+/// protect_frame → recover_frame → parse → read_compressed_hdu bit-exactly;
+/// a 0×0 image is rejected up front; any single bit flip in the data or
+/// parity region is repaired to the exact original payload.
+[[nodiscard]] PropertyResult check_downlink_roundtrip(common::Rng& rng);
+
+/// The structure-aware corrupt contract: mangled frames (header-field
+/// edits such as a wild ZNAXIS, stream truncation/garbage, random flips,
+/// MessageFaultModel damage) either recover the exact payload, throw
+/// fits::FitsError on decode, or come back nullopt — never a wrong image,
+/// a crash, or an unbounded allocation.
+[[nodiscard]] PropertyResult check_downlink_corrupt_contract(common::Rng& rng);
+
 }  // namespace spacefts::check

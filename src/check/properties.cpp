@@ -6,8 +6,12 @@
 #include <vector>
 
 #include "spacefts/core/voter_matrix.hpp"
+#include "spacefts/downlink/chain.hpp"
+#include "spacefts/downlink/compressed_hdu.hpp"
 #include "spacefts/edac/crc32.hpp"
 #include "spacefts/edac/hamming.hpp"
+#include "spacefts/fault/message_faults.hpp"
+#include "spacefts/fits/fits.hpp"
 #include "spacefts/rice/bitstream.hpp"
 #include "spacefts/rice/rice.hpp"
 #include "spacefts/serve/server.hpp"
@@ -432,6 +436,143 @@ PropertyResult check_serve_determinism(common::Rng& rng) {
           "serve results changed between batch sizes 1 and %zu", max_batch));
     }
     previous = results;
+  }
+  return {};
+}
+
+// ---- downlink ---------------------------------------------------------------
+
+namespace {
+
+/// Draws a random-walk image; height 1 exercises the telemetry shape.
+[[nodiscard]] common::Image<std::uint16_t> draw_image(common::Rng& rng,
+                                                      std::size_t width,
+                                                      std::size_t height) {
+  common::Image<std::uint16_t> image(width, height);
+  std::uint16_t walk = 30000;
+  for (auto& pixel : image.pixels()) {
+    walk = static_cast<std::uint16_t>(
+        walk + static_cast<std::uint16_t>(rng.below(61)) - 30);
+    pixel = walk;
+  }
+  return image;
+}
+
+/// Recovers \p frame, parses it, and decompresses the first HDU; the full
+/// base-station receive path of downlink::run_chain.
+[[nodiscard]] std::optional<common::Image<std::uint16_t>> receive_frame(
+    std::span<const std::uint8_t> frame) {
+  const auto payload = downlink::recover_frame(frame);
+  if (!payload) return std::nullopt;
+  const auto file = fits::FitsFile::parse(*payload);
+  if (file.hdus().empty()) throw fits::FitsError("frame held no HDU");
+  return downlink::read_compressed_hdu(file.hdus().front());
+}
+
+}  // namespace
+
+PropertyResult check_downlink_roundtrip(common::Rng& rng) {
+  // A 0-area image must be refused at write time, not shipped as a frame
+  // the reader would reject.
+  try {
+    (void)downlink::make_compressed_hdu(common::Image<std::uint16_t>());
+    return property_failed("make_compressed_hdu accepted a 0x0 image");
+  } catch (const fits::FitsError&) {
+  }
+
+  for (std::size_t round = 0; round < 4; ++round) {
+    const std::size_t height = rng.bernoulli(0.25) ? 1 : 1 + rng.below(24);
+    const std::size_t width = 1 + rng.below(48);
+    const auto image = draw_image(rng, width, height);
+
+    fits::FitsFile file;
+    file.hdus().push_back(downlink::make_compressed_hdu(image));
+    const auto frame = downlink::protect_frame(file.serialize());
+
+    const auto clean = receive_frame(frame);
+    if (!clean || *clean != image) {
+      return property_failed(format_detail(
+          "downlink round-trip mismatch: %zux%zu", width, height));
+    }
+
+    // Any single bit flip in the data or parity region must be repaired
+    // back to the exact original payload (a trailer flip is an erasure,
+    // covered by the corrupt contract).
+    auto damaged = frame;
+    const std::size_t bit = rng.below((damaged.size() - 4) * 8);
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    const auto repaired = receive_frame(damaged);
+    if (!repaired || *repaired != image) {
+      return property_failed(format_detail(
+          "downlink single-bit flip at bit %zu not repaired (%zux%zu)", bit,
+          width, height));
+    }
+  }
+  return {};
+}
+
+PropertyResult check_downlink_corrupt_contract(common::Rng& rng) {
+  const auto image = draw_image(rng, 1 + rng.below(32), 1 + rng.below(16));
+
+  // Header-field damage: a wild ZNAXIS claim must throw at the reader
+  // (regression for the Z-geometry overflow), never allocate the claim.
+  {
+    auto hdu = downlink::make_compressed_hdu(image);
+    hdu.header.set_int("ZNAXIS1", 1 << 30);
+    hdu.header.set_int("ZNAXIS2", 1 << 30);
+    try {
+      (void)downlink::read_compressed_hdu(hdu);
+      return property_failed("wild ZNAXIS geometry was not rejected");
+    } catch (const fits::FitsError&) {
+    }
+  }
+
+  // Stream damage below the framing layer: truncation and bit soup must
+  // surface as FitsError from the decode path, never a wrong image.
+  {
+    auto hdu = downlink::make_compressed_hdu(image);
+    hdu.data.resize(hdu.data.size() / 2);
+    hdu.header.set_int("NAXIS1", static_cast<std::int64_t>(hdu.data.size()));
+    try {
+      const auto decoded = downlink::read_compressed_hdu(hdu);
+      if (decoded == image) {
+        return property_failed("half the stream still decoded bit-exact");
+      }
+    } catch (const fits::FitsError&) {
+    }
+  }
+
+  // Frame damage beyond SEC-DED: whatever MessageFaultModel or random
+  // mangling does, recover_frame returns the exact payload or nullopt.
+  fits::FitsFile file;
+  file.hdus().push_back(downlink::make_compressed_hdu(image));
+  const auto frame = downlink::protect_frame(file.serialize());
+  fault::MessageFaultConfig link;
+  link.corrupt_prob = 1.0;
+  link.corrupt_gamma0 = 0.002;
+  const fault::MessageFaultModel model(link);
+  for (std::size_t round = 0; round < 8; ++round) {
+    auto damaged = frame;
+    if (round % 2 == 0) {
+      (void)model.corrupt(damaged, rng);
+    } else {
+      const std::size_t flips = 2 + rng.below(16);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t bit = rng.below(damaged.size() * 8);
+        damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+    }
+    if (rng.bernoulli(0.25)) damaged.resize(rng.below(damaged.size() + 1));
+    try {
+      const auto received = receive_frame(damaged);
+      if (received && *received != image) {
+        return property_failed(format_detail(
+            "mangled frame decoded to a wrong image (round %zu)", round));
+      }
+    } catch (const fits::FitsError&) {
+      // A recovered-but-damaged payload may still fail structurally; the
+      // contract only forbids a silently wrong product.
+    }
   }
   return {};
 }

@@ -1,0 +1,76 @@
+#include "spacefts/datagen/telemetry.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "spacefts/datagen/ngst.hpp"
+
+namespace spacefts::datagen {
+namespace {
+
+void validate(const TelemetryParams& params) {
+  if (params.samples == 0) {
+    throw std::invalid_argument("telemetry: samples must be > 0");
+  }
+  if (!(params.base_min <= params.base_max)) {
+    throw std::invalid_argument("telemetry: base_min > base_max");
+  }
+  if (!(params.drift_sigma >= 0.0) || !(params.osc_amp_max >= 0.0)) {
+    throw std::invalid_argument("telemetry: negative sigma/amplitude");
+  }
+  if (!(params.osc_period_min > 0.0) ||
+      !(params.osc_period_min <= params.osc_period_max)) {
+    throw std::invalid_argument("telemetry: bad oscillation period range");
+  }
+  if (!(params.jitter >= 0.0 && params.jitter < 0.5)) {
+    throw std::invalid_argument("telemetry: jitter outside [0, 0.5)");
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> TelemetrySimulator::channel(
+    const TelemetryParams& params) {
+  validate(params);
+  // Per-channel character draws first, then one (jitter, drift) pair per
+  // sample — a fixed draw order, so a bank regenerates bit-identically.
+  const double base = rng_.uniform(params.base_min, params.base_max);
+  const double amp = rng_.uniform(0.0, params.osc_amp_max);
+  const double period =
+      rng_.uniform(params.osc_period_min, params.osc_period_max);
+  const double phase = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+
+  std::vector<std::uint16_t> out;
+  out.reserve(params.samples);
+  double walk = 0.0;
+  for (std::size_t i = 0; i < params.samples; ++i) {
+    const double t = static_cast<double>(i) +
+                     params.jitter * rng_.uniform(-1.0, 1.0);
+    walk += rng_.gaussian(0.0, params.drift_sigma);
+    const double v =
+        base + amp * std::sin(2.0 * std::numbers::pi * t / period + phase) +
+        walk;
+    out.push_back(clamp_pixel(v));
+  }
+  return out;
+}
+
+common::TemporalStack<std::uint16_t> TelemetrySimulator::stack(
+    const TelemetryParams& params) {
+  validate(params);
+  if (params.channels == 0) {
+    throw std::invalid_argument("telemetry: channels must be > 0");
+  }
+  common::TemporalStack<std::uint16_t> stack(params.channels, 1,
+                                             params.samples);
+  for (std::size_t x = 0; x < params.channels; ++x) {
+    const auto series = channel(params);
+    for (std::size_t t = 0; t < params.samples; ++t) {
+      stack(x, 0, t) = series[t];
+    }
+  }
+  return stack;
+}
+
+}  // namespace spacefts::datagen

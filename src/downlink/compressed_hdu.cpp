@@ -9,6 +9,12 @@ namespace spacefts::downlink {
 
 fits::Hdu make_compressed_hdu(const common::Image<std::uint16_t>& image,
                               bool primary) {
+  if (image.width() == 0 || image.height() == 0) {
+    // An empty image would serialize to ZNAXIS1=0, which the reader rejects
+    // as damaged geometry; refuse at write time so every HDU we emit is one
+    // we can read back.
+    throw fits::FitsError("make_compressed_hdu: empty image");
+  }
   std::vector<std::uint16_t> samples(image.pixels().begin(),
                                      image.pixels().end());
   auto stream = rice::compress16(samples);
@@ -57,6 +63,15 @@ common::Image<std::uint16_t> read_compressed_hdu(const fits::Hdu& hdu) {
   }
   const auto width = static_cast<std::size_t>(*w);
   const auto height = static_cast<std::size_t>(*h);
+  // A corrupted header must not drive the allocation: the rice coder spends
+  // at least one bit per sample (k=0 unary, before block headers), so a
+  // stream of N bytes can never decode to more than 8N samples.  Anything
+  // larger is damaged geometry, not a bigger image.
+  const std::size_t max_pixels = hdu.data.size() * 8;
+  if (width > max_pixels / height) {
+    throw fits::FitsError(
+        "read_compressed_hdu: Z-geometry exceeds what the stream could hold");
+  }
   std::vector<std::uint16_t> samples;
   try {
     samples = rice::decompress16(hdu.data, width * height);

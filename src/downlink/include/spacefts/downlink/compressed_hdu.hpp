@@ -20,6 +20,8 @@ namespace spacefts::downlink {
 /// Builds a Rice-compressed HDU from a 16-bit image.
 /// Keywords written: ZIMAGE=T, ZCMPTYPE='RICE_1', ZBITPIX=16,
 /// ZNAXIS=2, ZNAXIS1/ZNAXIS2, plus the real BITPIX=8/NAXIS1=stream length.
+/// \throws fits::FitsError for an empty (0-area) image — the reader would
+/// reject the resulting ZNAXIS1=0 geometry, so it is refused at write time.
 [[nodiscard]] fits::Hdu make_compressed_hdu(
     const common::Image<std::uint16_t>& image, bool primary = true);
 
@@ -27,8 +29,10 @@ namespace spacefts::downlink {
 [[nodiscard]] bool is_compressed_hdu(const fits::Hdu& hdu);
 
 /// Decompresses a compressed HDU back to the original image.
-/// \throws fits::FitsError if the HDU is not a RICE_1 compressed image or
-/// the stream is damaged beyond decoding.
+/// \throws fits::FitsError if the HDU is not a RICE_1 compressed image, the
+/// claimed geometry exceeds what the stored stream could possibly decode to
+/// (≥ 1 bit/sample — guards corrupted ZNAXISn against exabyte allocations),
+/// or the stream is damaged beyond decoding.
 [[nodiscard]] common::Image<std::uint16_t> read_compressed_hdu(
     const fits::Hdu& hdu);
 

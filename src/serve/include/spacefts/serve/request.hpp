@@ -36,8 +36,9 @@ enum class ServeStatus : std::uint8_t {
 
 /// Which instrument stack serves the job.
 enum class JobKind : std::uint8_t {
-  kNgst,  ///< pack -> ingest::Guard -> Algo_NGST [-> dist::pipeline]
-  kOtis,  ///< scene forward model -> Algo_OTIS (spatial locality)
+  kNgst,       ///< pack -> ingest::Guard -> Algo_NGST [-> dist::pipeline]
+  kOtis,       ///< scene forward model -> Algo_OTIS (spatial locality)
+  kTelemetry,  ///< 1D channel bank as a 1-row stack -> Algo_NGST voter
 };
 
 [[nodiscard]] const char* to_string(JobKind kind) noexcept;
@@ -45,8 +46,8 @@ enum class JobKind : std::uint8_t {
 /// The work itself, fully specified by value.
 struct JobSpec {
   JobKind kind = JobKind::kNgst;
-  std::size_t side = 32;    ///< square scene side
-  std::size_t frames = 16;  ///< NGST temporal readouts / OTIS bands
+  std::size_t side = 32;    ///< square scene side / telemetry channel count
+  std::size_t frames = 16;  ///< NGST readouts / OTIS bands / telemetry samples
   double lambda = 80.0;     ///< preprocessing sensitivity Λ
   std::uint64_t seed = 1;   ///< dataset + per-request fault stream seed
   /// NGST only: after ingest, run the distributed scatter/compute/gather

@@ -38,10 +38,17 @@ struct WorkloadSpec {
   std::size_t streams = 0;
   double otis_fraction = 0.25;     ///< mix of OTIS cube jobs
   double pipeline_fraction = 0.0;  ///< NGST jobs that run the dist pipeline
+  /// Mix of 1D telemetry-bank jobs (drawn before the OTIS split).  The
+  /// telemetry draw is only consumed when the fraction is positive, so
+  /// workload files generated before this kind existed regenerate
+  /// bit-identically at the default 0.
+  double telemetry_fraction = 0.0;
   std::size_t ngst_side = 32;
   std::size_t ngst_frames = 16;
   std::size_t otis_side = 24;
   std::size_t otis_bands = 6;
+  std::size_t telemetry_channels = 32;
+  std::size_t telemetry_samples = 64;
   double lambda = 80.0;
   double gamma0 = 0.0;     ///< pipeline memory-fault knob per request
   double link_loss = 0.0;  ///< pipeline link-fault knob per request

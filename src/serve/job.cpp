@@ -11,6 +11,7 @@
 #include "spacefts/core/algo_otis.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/datagen/otis_scenes.hpp"
+#include "spacefts/datagen/telemetry.hpp"
 #include "spacefts/dist/pipeline.hpp"
 #include "spacefts/edac/crc32.hpp"
 #include "spacefts/ingest/guard.hpp"
@@ -52,7 +53,9 @@ core::OperatingPoint resolve_point(const Request& request,
   point.upsilon = default_upsilon;
   if (!ctx.tuner) return point;
   point = ctx.tuner(request);
-  if (request.job.kind == JobKind::kNgst) {
+  if (request.job.kind != JobKind::kOtis) {
+    // NGST and telemetry both run the temporal voter: Υ is bounded by the
+    // job's frame (sample) count, not the OTIS spatial neighbourhoods.
     std::size_t cap = request.job.frames > 0 ? request.job.frames - 1 : 2;
     cap -= cap % 2;
     point.upsilon = std::clamp<std::size_t>(point.upsilon, 2,
@@ -167,6 +170,71 @@ RequestResult execute_ngst(const Request& request, bool corrupt_ingress,
   return result;
 }
 
+/// The 1D workload: a telemetry channel bank is a 1-row temporal stack
+/// (width = channels, height = 1, frames = samples), so it rides the exact
+/// NGST path — pack, ingress link, ingest guard, temporal voter, optional
+/// compute backend — with only the dataset generator and the guard's
+/// expected geometry changing.
+RequestResult execute_telemetry(const Request& request, bool corrupt_ingress,
+                                const ExecContext& ctx) {
+  const JobSpec& job = request.job;
+  RequestResult result;
+  result.id = request.id;
+  result.kind = job.kind;
+
+  datagen::TelemetrySimulator sim(job.seed);
+  datagen::TelemetryParams params;
+  params.channels = job.side;
+  params.samples = job.frames;
+  auto stack = sim.stack(params);
+  auto payload = ingest::IngestGuard::pack(stack);
+
+  if (corrupt_ingress) {
+    const fault::MessageFaultModel link(ctx.ingress);
+    common::Rng fault_rng(
+        common::derive_stream_seed(ctx.ingress_seed, request.id,
+                                   kStreamIngress));
+    result.ingress_bits_corrupted = link.corrupt(payload, fault_rng);
+  }
+
+  ingest::IngestConfig ic;
+  ic.expectation.bitpix = 16;
+  ic.expectation.width = static_cast<std::int64_t>(job.side);
+  ic.expectation.height = 1;
+  const core::OperatingPoint point =
+      resolve_point(request, ctx, ic.algo.upsilon);
+  ic.algo.lambda = point.lambda;
+  ic.algo.upsilon = point.upsilon;
+  ic.algo.threads = ctx.algo_threads;
+  ic.algo.kernel = ctx.kernel;
+  result.lambda_eff = point.lambda;
+  result.upsilon_eff = point.upsilon;
+  if (ctx.backend) {
+    ic.executor = [&ctx, &request, &result](
+                      common::TemporalStack<std::uint16_t>& stack,
+                      const core::AlgoNgstConfig& algo) {
+      backend::ComputeOutcome outcome;
+      auto report = ctx.backend->preprocess(
+          stack, algo, backend::ComputeMeta{request.id, 0}, &outcome);
+      result.backend_mismatch |= outcome.shadow_mismatch;
+      return report;
+    };
+  }
+  const ingest::IngestGuard guard(ic);
+  auto ingested = guard.ingest(payload);
+  if (!ingested.ok) {
+    result.status = ServeStatus::kFailed;
+    result.error = "ingest: " + ingested.error;
+    return result;
+  }
+  result.pixels_corrected = ingested.preprocess.pixels_corrected;
+  result.bits_corrected = ingested.preprocess.bits_corrected;
+  result.pixels_vetoed = ingested.preprocess.pixels_vetoed;
+  result.checksum = edac::crc32(byte_view(ingested.stack.cube().voxels()));
+  result.status = ServeStatus::kOk;
+  return result;
+}
+
 RequestResult execute_otis(const Request& request, bool corrupt_ingress,
                            const ExecContext& ctx) {
   const JobSpec& job = request.job;
@@ -233,6 +301,10 @@ void validate_job(const JobSpec& job, const ExecContext& ctx) {
   if (job.kind == JobKind::kOtis && job.frames == 0) {
     throw std::invalid_argument("serve: OTIS jobs need >= 1 band");
   }
+  if (job.kind == JobKind::kTelemetry && job.frames < 3) {
+    throw std::invalid_argument(
+        "serve: telemetry jobs need >= 3 samples (temporal voting)");
+  }
   if (!(job.lambda >= 0.0 && job.lambda <= 100.0)) {
     throw std::invalid_argument("serve: lambda outside [0, 100]");
   }
@@ -243,7 +315,7 @@ void validate_job(const JobSpec& job, const ExecContext& ctx) {
   if (job.run_pipeline) {
     if (job.kind != JobKind::kNgst) {
       throw std::invalid_argument(
-          "serve: run_pipeline applies to NGST jobs only");
+          "serve: run_pipeline applies to NGST image jobs only");
     }
     if (ctx.fragment_side == 0 || job.side % ctx.fragment_side != 0) {
       throw std::invalid_argument(
@@ -258,9 +330,12 @@ RequestResult execute_job(const Request& request, bool corrupt_ingress,
                  {"id", static_cast<double>(request.id)},
                  {"priority", static_cast<double>(request.priority)});
   try {
-    RequestResult result = request.job.kind == JobKind::kNgst
-                               ? execute_ngst(request, corrupt_ingress, ctx)
-                               : execute_otis(request, corrupt_ingress, ctx);
+    RequestResult result =
+        request.job.kind == JobKind::kNgst
+            ? execute_ngst(request, corrupt_ingress, ctx)
+            : request.job.kind == JobKind::kTelemetry
+                  ? execute_telemetry(request, corrupt_ingress, ctx)
+                  : execute_otis(request, corrupt_ingress, ctx);
     result.kernel = core::resolve_kernel(ctx.kernel);
     result.backend = ctx.backend ? ctx.backend->name() : "cpu";
     return result;

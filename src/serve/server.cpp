@@ -27,7 +27,15 @@ const char* to_string(ServeStatus status) noexcept {
 }
 
 const char* to_string(JobKind kind) noexcept {
-  return kind == JobKind::kNgst ? "ngst" : "otis";
+  switch (kind) {
+    case JobKind::kOtis:
+      return "otis";
+    case JobKind::kTelemetry:
+      return "telemetry";
+    case JobKind::kNgst:
+      break;
+  }
+  return "ngst";
 }
 
 /// One formed batch: the head entry plus same-shape followers.

@@ -75,7 +75,8 @@ std::vector<WorkloadItem> generate_workload(const WorkloadSpec& spec) {
   if (!(spec.rate_hz > 0.0)) {
     throw std::invalid_argument("workload: rate_hz must be > 0");
   }
-  for (const double f : {spec.otis_fraction, spec.pipeline_fraction}) {
+  for (const double f : {spec.otis_fraction, spec.pipeline_fraction,
+                         spec.telemetry_fraction}) {
     if (!(f >= 0.0 && f <= 1.0)) {
       throw std::invalid_argument("workload: fraction outside [0, 1]");
     }
@@ -107,7 +108,15 @@ std::vector<WorkloadItem> generate_workload(const WorkloadSpec& spec) {
     JobSpec& job = req.job;
     job.lambda = spec.lambda;
     job.seed = common::derive_stream_seed(spec.seed, kStreamDataset, i);
-    if (mix.bernoulli(spec.otis_fraction)) {
+    // The telemetry draw is consumed only when the fraction is positive:
+    // Rng::bernoulli always advances the stream, and older committed
+    // workload files must keep regenerating bit-identically at 0.
+    if (spec.telemetry_fraction > 0.0 &&
+        mix.bernoulli(spec.telemetry_fraction)) {
+      job.kind = JobKind::kTelemetry;
+      job.side = spec.telemetry_channels;
+      job.frames = spec.telemetry_samples;
+    } else if (mix.bernoulli(spec.otis_fraction)) {
       job.kind = JobKind::kOtis;
       job.side = spec.otis_side;
       job.frames = spec.otis_bands;
@@ -184,6 +193,8 @@ std::vector<WorkloadItem> parse_workload_jsonl(std::string_view text) {
       job.kind = JobKind::kNgst;
     } else if (token == "\"otis\"") {
       job.kind = JobKind::kOtis;
+    } else if (token == "\"telemetry\"") {
+      job.kind = JobKind::kTelemetry;
     } else {
       fail("unknown kind");
     }

@@ -10,6 +10,7 @@
 
 #include "spacefts/campaign/campaign.hpp"
 #include "spacefts/campaign/compute_sweep.hpp"
+#include "spacefts/campaign/downlink_sweep.hpp"
 #include "spacefts/common/random.hpp"
 #include "spacefts/edac/crc32.hpp"
 #include "spacefts/fault/message_faults.hpp"
@@ -252,4 +253,87 @@ TEST(ComputeSweep, RejectsMalformedGrids) {
   config = {};
   config.requests = 0;
   EXPECT_THROW((void)sc::run_compute_sweep(config), std::invalid_argument);
+}
+
+// --------------------------------------------------------- downlink sweep ---
+
+namespace {
+
+sc::DownlinkSweepConfig small_downlink_sweep() {
+  sc::DownlinkSweepConfig config;
+  config.workload_grid = {spacefts::downlink::ChainWorkload::kNgstImage,
+                          spacefts::downlink::ChainWorkload::kTelemetry};
+  config.gamma0_grid = {0.0, 0.002};
+  config.link_loss_grid = {0.0};
+  config.lambda_grid = {80.0};
+  config.trials = 2;
+  config.seed = 5;
+  config.side = 16;
+  config.frames = 8;
+  config.tile_rows = 4;
+  return config;
+}
+
+}  // namespace
+
+TEST(DownlinkSweep, OnArmDominatesAndCleanCellsAreLossless) {
+  const auto report = sc::run_downlink_sweep(small_downlink_sweep());
+  ASSERT_EQ(report.cells.size(), 4u);
+  std::string diagnostics;
+  EXPECT_EQ(sc::enforce(report, diagnostics), 0u) << diagnostics;
+  for (const auto& cell : report.cells) {
+    EXPECT_GE(cell.psnr_on_db, cell.psnr_off_db);
+    EXPECT_GE(cell.match_on, cell.match_off);
+    if (cell.gamma0 == 0.0 && cell.link_loss == 0.0) {
+      EXPECT_EQ(cell.psnr_on_db, spacefts::downlink::kPsnrCap);
+      EXPECT_EQ(cell.match_on, 1.0);
+    } else {
+      EXPECT_GT(cell.memory_bits_flipped, 0u);
+    }
+  }
+}
+
+TEST(DownlinkSweep, JsonlIsByteStableAcrossThreadCounts) {
+  auto config = small_downlink_sweep();
+  config.threads = 1;
+  const auto serial = sc::to_jsonl(sc::run_downlink_sweep(config));
+  config.threads = 4;
+  EXPECT_EQ(sc::to_jsonl(sc::run_downlink_sweep(config)), serial);
+  EXPECT_NE(serial.find("\"bench\":\"downlink_fidelity\""), std::string::npos);
+  EXPECT_NE(serial.find("\"workload\":\"telemetry\""), std::string::npos);
+}
+
+TEST(DownlinkSweep, RowKeySeparatesWorkloadsAndOtherBenches) {
+  const std::string ngst_row =
+      "{\"bench\":\"downlink_fidelity\",\"workload\":\"ngst\","
+      "\"gamma0\":0.001,\"link_loss\":0.1,\"lambda\":80}";
+  const std::string telem_row =
+      "{\"bench\":\"downlink_fidelity\",\"workload\":\"telemetry\","
+      "\"gamma0\":0.001,\"link_loss\":0.1,\"lambda\":80}";
+  const std::string classic_row =
+      "{\"bench\":\"fault_campaign\",\"gamma0\":0.001,\"crash_prob\":0.1,"
+      "\"link_loss\":0.1,\"lambda\":80}";
+  EXPECT_NE(sc::campaign_row_key(ngst_row), sc::campaign_row_key(telem_row));
+  EXPECT_NE(sc::campaign_row_key(ngst_row), sc::campaign_row_key(classic_row));
+  EXPECT_EQ(sc::campaign_row_key(ngst_row), sc::campaign_row_key(ngst_row));
+}
+
+TEST(DownlinkSweep, EnforceFlagsManufacturedRegression) {
+  auto report = sc::run_downlink_sweep(small_downlink_sweep());
+  report.cells[0].psnr_on_db = report.cells[0].psnr_off_db - 1.0;
+  std::string diagnostics;
+  EXPECT_GT(sc::enforce(report, diagnostics), 0u);
+  EXPECT_NE(diagnostics.find("PSNR"), std::string::npos);
+}
+
+TEST(DownlinkSweep, RejectsMalformedGrids) {
+  auto config = small_downlink_sweep();
+  config.workload_grid = {};
+  EXPECT_THROW((void)sc::run_downlink_sweep(config), std::invalid_argument);
+  config = small_downlink_sweep();
+  config.trials = 0;
+  EXPECT_THROW((void)sc::run_downlink_sweep(config), std::invalid_argument);
+  config = small_downlink_sweep();
+  config.gamma0_grid = {2.0};
+  EXPECT_THROW((void)sc::run_downlink_sweep(config), std::invalid_argument);
 }

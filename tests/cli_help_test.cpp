@@ -5,8 +5,11 @@
 // the assertion covers what users actually see.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #ifndef SPACEFTS_CLI_PATH
@@ -34,9 +37,9 @@ std::string cli_stdout(const std::string& args) {
 
 /// Every verb the CLI dispatches.  A new verb must appear here and in the
 /// help table — this list is the test's single point of maintenance.
-constexpr const char* kVerbs[] = {"gen",  "corrupt",  "ingest",   "info",
-                                  "psi",  "pipeline", "campaign", "serve",
-                                  "check", "version",  "help"};
+constexpr const char* kVerbs[] = {"gen",      "corrupt", "ingest", "info",
+                                  "psi",      "pipeline", "campaign", "downlink",
+                                  "serve",    "check",   "version", "help"};
 
 TEST(CliHelp, GlobalUsageListsEveryVerb) {
   const std::string help = cli_stdout("help");
@@ -71,6 +74,40 @@ TEST(CliHelp, PerVerbHelpIsConsistentForComputeFlags) {
   const std::string campaign = cli_stdout("help campaign");
   EXPECT_NE(campaign.find("--compute"), std::string::npos);
   EXPECT_NE(campaign.find("--shadow-rates"), std::string::npos);
+  // The downlink sweep and verb document the end-to-end axes.
+  EXPECT_NE(campaign.find("--downlink"), std::string::npos);
+  const std::string downlink = cli_stdout("help downlink");
+  EXPECT_NE(downlink.find("--link-loss"), std::string::npos);
+  EXPECT_NE(downlink.find("--no-preprocess"), std::string::npos);
+  EXPECT_NE(downlink.find("--workload"), std::string::npos);
+}
+
+/// Runs the CLI with stdout/stderr silenced and returns its exit status.
+int cli_exit_code(const std::string& args) {
+  const std::string command =
+      std::string(SPACEFTS_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(CliFlags, NonFiniteDoubleValuesExitThree) {
+  // inf/nan parse as doubles but are never meaningful flag values; each
+  // double-valued flag must refuse them with the bad-flag exit code.
+  const char* kDoubleFlags[][2] = {
+      {"downlink", "--gamma0"},
+      {"downlink", "--link-loss"},
+      {"downlink", "--lambda"},
+      {"serve --requests 1", "--otis-frac"},
+      {"serve --requests 1", "--ingress-corrupt"},
+      {"pipeline", "--lambda"},
+  };
+  for (const auto& [verb, flag] : kDoubleFlags) {
+    for (const char* value : {"inf", "-inf", "nan"}) {
+      const std::string args =
+          std::string(verb) + " " + flag + " " + value;
+      EXPECT_EQ(cli_exit_code(args), 3) << args;
+    }
+  }
 }
 
 TEST(CliHelp, EveryVerbHasPerVerbHelp) {

@@ -9,6 +9,7 @@
 #include "spacefts/common/stats.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/datagen/otis_scenes.hpp"
+#include "spacefts/datagen/telemetry.hpp"
 #include "spacefts/otis/bounds.hpp"
 
 namespace sd = spacefts::datagen;
@@ -209,4 +210,55 @@ TEST(OtisScene, DeterministicPerSeed) {
   const auto sa = a.generate(sd::OtisSceneKind::kStripe);
   const auto sb = b.generate(sd::OtisSceneKind::kStripe);
   EXPECT_EQ(sa.radiance, sb.radiance);
+}
+
+// ----------------------------------------------------------------- telemetry
+
+TEST(Telemetry, ChannelLengthMatchesSamples) {
+  sd::TelemetrySimulator sim(3);
+  sd::TelemetryParams params;
+  params.samples = 48;
+  EXPECT_EQ(sim.channel(params).size(), 48u);
+}
+
+TEST(Telemetry, StackIsOneRowPerChannelBank) {
+  sd::TelemetrySimulator sim(4);
+  sd::TelemetryParams params;
+  params.channels = 12;
+  params.samples = 20;
+  const auto stack = sim.stack(params);
+  EXPECT_EQ(stack.width(), 12u);
+  EXPECT_EQ(stack.height(), 1u);
+  EXPECT_EQ(stack.frames(), 20u);
+}
+
+TEST(Telemetry, DeterministicPerSeed) {
+  sd::TelemetrySimulator a(7), b(7);
+  const sd::TelemetryParams params;
+  EXPECT_EQ(a.stack(params).cube(), b.stack(params).cube());
+}
+
+TEST(Telemetry, SignalActuallyVaries) {
+  // Drift plus oscillation: a channel is never a flat line.
+  sd::TelemetrySimulator sim(8);
+  const auto series = sim.channel({});
+  EXPECT_NE(*std::min_element(series.begin(), series.end()),
+            *std::max_element(series.begin(), series.end()));
+}
+
+TEST(Telemetry, RejectsBadParams) {
+  sd::TelemetrySimulator sim(9);
+  sd::TelemetryParams params;
+  params.samples = 0;
+  EXPECT_THROW((void)sim.channel(params), std::invalid_argument);
+  params = {};
+  params.jitter = 0.6;
+  EXPECT_THROW((void)sim.channel(params), std::invalid_argument);
+  params = {};
+  params.base_min = 40000;
+  params.base_max = 30000;
+  EXPECT_THROW((void)sim.channel(params), std::invalid_argument);
+  params = {};
+  params.channels = 0;
+  EXPECT_THROW((void)sim.stack(params), std::invalid_argument);
 }

@@ -1,10 +1,13 @@
-// Tests for the downlink module — Rice-compressed FITS HDUs.
+// Tests for the downlink module — Rice-compressed FITS HDUs and the
+// end-to-end chain (preprocess → compress → frame → faulty link → product).
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 
 #include "spacefts/common/random.hpp"
 #include "spacefts/datagen/ngst.hpp"
+#include "spacefts/downlink/chain.hpp"
 #include "spacefts/downlink/compressed_hdu.hpp"
 #include "spacefts/fits/fits.hpp"
 
@@ -81,4 +84,153 @@ TEST(CompressedHdu, ExtensionFormCarriesXtension) {
   const auto hdu = dl::make_compressed_hdu(smooth_image(8), /*primary=*/false);
   EXPECT_EQ(hdu.header.get_string("XTENSION"), "IMAGE");
   EXPECT_EQ(dl::read_compressed_hdu(hdu), smooth_image(8));
+}
+
+TEST(CompressedHdu, RejectsEmptyImage) {
+  EXPECT_THROW((void)dl::make_compressed_hdu(Image<std::uint16_t>()),
+               spacefts::fits::FitsError);
+  EXPECT_THROW((void)dl::make_compressed_hdu(Image<std::uint16_t>(0, 5)),
+               spacefts::fits::FitsError);
+}
+
+TEST(CompressedHdu, HugeZnaxisClaimThrowsInsteadOfAllocating) {
+  // A corrupted header claiming an exabyte image must be refused by the
+  // geometry-vs-stream bound, not handed to the allocator.
+  auto hdu = dl::make_compressed_hdu(smooth_image(9));
+  hdu.header.set_int("ZNAXIS1", std::int64_t{1} << 31);
+  hdu.header.set_int("ZNAXIS2", std::int64_t{1} << 31);
+  EXPECT_THROW((void)dl::read_compressed_hdu(hdu), spacefts::fits::FitsError);
+}
+
+// ---- downlink frames -------------------------------------------------------
+
+TEST(DownlinkFrame, RoundtripRestoresPayload) {
+  spacefts::common::Rng rng(11);
+  for (const std::size_t length : {std::size_t{1}, std::size_t{7},
+                                   std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::uint8_t> payload(length);
+    for (auto& byte : payload) byte = static_cast<std::uint8_t>(rng());
+    const auto frame = dl::protect_frame(payload);
+    const auto back = dl::recover_frame(frame);
+    ASSERT_TRUE(back.has_value()) << "length " << length;
+    EXPECT_EQ(*back, payload);
+  }
+}
+
+TEST(DownlinkFrame, EverySingleBitFlipIsRepaired) {
+  // Every flip in the data and parity region corrects; the 4-byte CRC
+  // trailer is the integrity gate itself, so damage there loses the frame
+  // (an erasure, covered by TruncationAndGarbageReturnNullopt) rather than
+  // recovering it.
+  std::vector<std::uint8_t> payload(96);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const auto frame = dl::protect_frame(payload);
+  for (std::size_t bit = 0; bit < (frame.size() - 4) * 8; ++bit) {
+    auto damaged = frame;
+    damaged[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    std::size_t corrected = 0;
+    const auto back = dl::recover_frame(damaged, &corrected);
+    ASSERT_TRUE(back.has_value()) << "flip at bit " << bit;
+    EXPECT_EQ(*back, payload) << "flip at bit " << bit;
+  }
+}
+
+TEST(DownlinkFrame, TruncationAndGarbageReturnNullopt) {
+  const std::vector<std::uint8_t> payload(64, 0xA5);
+  auto frame = dl::protect_frame(payload);
+  frame.resize(frame.size() / 2);
+  EXPECT_FALSE(dl::recover_frame(frame).has_value());
+  EXPECT_FALSE(dl::recover_frame(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(
+      dl::recover_frame(std::vector<std::uint8_t>(13, 0xFF)).has_value());
+}
+
+// ---- the end-to-end chain --------------------------------------------------
+
+namespace {
+
+dl::ChainConfig small_chain(dl::ChainWorkload workload) {
+  dl::ChainConfig config;
+  config.workload = workload;
+  config.side = 16;
+  config.frames = 8;
+  config.tile_rows = 4;
+  config.seed = 99;
+  return config;
+}
+
+}  // namespace
+
+TEST(DownlinkChain, CleanChainReproducesGoldenBitExact) {
+  for (const auto workload :
+       {dl::ChainWorkload::kNgstImage, dl::ChainWorkload::kTelemetry}) {
+    const auto report = dl::run_chain(small_chain(workload));
+    EXPECT_EQ(report.product, report.golden);
+    EXPECT_EQ(report.psnr_db, dl::kPsnrCap);
+    EXPECT_EQ(report.pixel_match, 1.0);
+    EXPECT_EQ(report.tiles_degraded, 0u);
+    EXPECT_GT(report.compression_ratio, 1.0);
+  }
+}
+
+TEST(DownlinkChain, DeterministicAcrossThreadCounts) {
+  auto config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.gamma0 = 0.002;
+  config.link.drop_prob = 0.2;
+  config.link.corrupt_prob = 0.2;
+  config.threads = 1;
+  const auto serial = dl::run_chain(config);
+  config.threads = 4;
+  const auto parallel = dl::run_chain(config);
+  EXPECT_EQ(serial.product, parallel.product);
+  EXPECT_EQ(serial.psnr_db, parallel.psnr_db);
+  EXPECT_EQ(serial.frames_dropped, parallel.frames_dropped);
+}
+
+TEST(DownlinkChain, DeadLinkDegradesEveryTileWithoutCrashing) {
+  auto config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.link.drop_prob = 1.0;
+  const auto report = dl::run_chain(config);
+  EXPECT_EQ(report.tiles_degraded, report.tiles);
+  EXPECT_EQ(report.frames_dropped, report.tiles);
+  EXPECT_LT(report.pixel_match, 1.0);
+}
+
+TEST(DownlinkChain, TelemetryProductIsChannelBySampleMatrix) {
+  auto config = small_chain(dl::ChainWorkload::kTelemetry);
+  config.side = 12;   // channels
+  config.frames = 20;  // samples
+  const auto report = dl::run_chain(config);
+  EXPECT_EQ(report.product.width(), 12u);
+  EXPECT_EQ(report.product.height(), 20u);
+}
+
+TEST(DownlinkChain, PreprocessingDominatesUnderMemoryFaults) {
+  auto config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.gamma0 = 0.002;
+  const auto on = dl::run_chain(config);
+  config.preprocess = false;
+  const auto off = dl::run_chain(config);
+  EXPECT_GE(on.psnr_db, off.psnr_db);
+  EXPECT_GE(on.pixel_match, off.pixel_match);
+  EXPECT_GT(on.pixels_corrected, 0u);
+  EXPECT_EQ(off.pixels_corrected, 0u);
+  EXPECT_EQ(on.memory_bits_flipped, off.memory_bits_flipped);
+}
+
+TEST(DownlinkChain, RejectsInvalidConfigs) {
+  auto config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.frames = 2;
+  EXPECT_THROW((void)dl::run_chain(config), std::invalid_argument);
+  config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.lambda = 101.0;
+  EXPECT_THROW((void)dl::run_chain(config), std::invalid_argument);
+  config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.gamma0 = 1.5;
+  EXPECT_THROW((void)dl::run_chain(config), std::invalid_argument);
+  config = small_chain(dl::ChainWorkload::kNgstImage);
+  config.tile_rows = 0;
+  EXPECT_THROW((void)dl::run_chain(config), std::invalid_argument);
 }

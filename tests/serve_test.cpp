@@ -570,3 +570,72 @@ TEST(Workload, JsonlRoundTripsExactly) {
   EXPECT_EQ(ss::to_jsonl(parsed), text);
   EXPECT_THROW(ss::parse_workload_jsonl("{\"id\":0}\n"), std::runtime_error);
 }
+
+// ------------------------------------------------------------ telemetry ---
+
+namespace {
+
+ss::Request small_telemetry(std::uint64_t id) {
+  ss::Request req;
+  req.id = id;
+  req.job.kind = ss::JobKind::kTelemetry;
+  req.job.side = 8;    // channels
+  req.job.frames = 12;  // samples
+  req.job.seed = 3000 + id;
+  return req;
+}
+
+}  // namespace
+
+TEST(Telemetry, JobsServeDeterministically) {
+  const auto run = [] {
+    ss::ServerConfig config;
+    config.workers = 0;
+    ss::Server server(config);
+    for (std::uint64_t id = 0; id < 4; ++id) {
+      EXPECT_EQ(server.submit(small_telemetry(id)), ss::ServeStatus::kOk);
+    }
+    while (server.step() > 0) {
+    }
+    server.drain();
+    return ss::results_to_jsonl(server.take_results());
+  };
+  const std::string first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_NE(first.find("\"telemetry\""), std::string::npos);
+  EXPECT_EQ(first, run());
+}
+
+TEST(Telemetry, ValidationRejectsShortStacksAndPipelines) {
+  ss::ServerConfig config;
+  config.workers = 0;
+  ss::Server server(config);
+  ss::Request bad = small_telemetry(1);
+  bad.job.frames = 2;  // temporal voting needs >= 3 samples
+  EXPECT_THROW(server.submit(bad), std::invalid_argument);
+  bad = small_telemetry(2);
+  bad.job.run_pipeline = true;  // the FITS pipeline is image-only
+  EXPECT_THROW(server.submit(bad), std::invalid_argument);
+}
+
+TEST(Telemetry, WorkloadMixAndJsonlRoundTrip) {
+  ss::WorkloadSpec spec;
+  spec.requests = 30;
+  spec.telemetry_fraction = 1.0;
+  const auto all = ss::generate_workload(spec);
+  for (const auto& item : all) {
+    EXPECT_EQ(item.request.job.kind, ss::JobKind::kTelemetry);
+    EXPECT_EQ(item.request.job.side, spec.telemetry_channels);
+    EXPECT_EQ(item.request.job.frames, spec.telemetry_samples);
+  }
+  const auto text = ss::to_jsonl(all);
+  EXPECT_EQ(ss::to_jsonl(ss::parse_workload_jsonl(text)), text);
+
+  // fraction = 0 must never emit telemetry (and, crucially, must not
+  // consume a bernoulli draw — older workload specs regenerate
+  // bit-identically).
+  spec.telemetry_fraction = 0.0;
+  for (const auto& item : ss::generate_workload(spec)) {
+    EXPECT_NE(item.request.job.kind, ss::JobKind::kTelemetry);
+  }
+}

@@ -33,7 +33,16 @@
 ///       BENCH_campaign.json), and with --enforce exit non-zero on any
 ///       survival or clean-memory-coverage regression; --compute switches
 ///       to the untrusted-compute sweep (--fault-rates x --shadow-rates,
-///       detected-vs-escaped accounting per cell)
+///       detected-vs-escaped accounting per cell); --downlink switches to
+///       the end-to-end downlink fidelity sweep (preprocessing on vs off
+///       over the gamma0 x link-loss x lambda grid, with the dominance
+///       gate under --enforce)
+///   spacefts_cli downlink [--workload ngst|telemetry] [chain flags]
+///       fly the full flight chain once — synthesise, optionally
+///       preprocess, rice-compress, CRC/Hamming-frame, cross a faulty
+///       link, deframe, decompress — and report end-to-end fidelity vs
+///       the clean-chain golden; --out/--golden-out write the received
+///       and reference science products as Rice-compressed FITS
 ///   spacefts_cli serve [--replay <workload.jsonl> | synthetic-workload
 ///                      flags] [server flags]
 ///       run the preprocessing service over a workload: either replay a
@@ -74,6 +83,7 @@
 /// missing positionals), 3 bad flag (unknown flag or malformed value).
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -89,6 +99,7 @@
 #include "spacefts/backend/backend.hpp"
 #include "spacefts/campaign/campaign.hpp"
 #include "spacefts/campaign/compute_sweep.hpp"
+#include "spacefts/campaign/downlink_sweep.hpp"
 #include "spacefts/campaign/drift.hpp"
 #include "spacefts/check/corpus.hpp"
 #include "spacefts/control/bank.hpp"
@@ -98,6 +109,8 @@
 #include "spacefts/core/kernel.hpp"
 #include "spacefts/datagen/ngst.hpp"
 #include "spacefts/dist/pipeline.hpp"
+#include "spacefts/downlink/chain.hpp"
+#include "spacefts/downlink/compressed_hdu.hpp"
 #include "spacefts/fault/models.hpp"
 #include "spacefts/fits/io.hpp"
 #include "spacefts/fits/sanity.hpp"
@@ -157,7 +170,24 @@ constexpr VerbHelp kVerbHelp[] = {
      " sweep)\n"
      "                [--compute [--fault-rates a,b] [--shadow-rates a,b]\n"
      "                [--requests N]] (compute-fault x shadow-rate"
-     " detected-vs-escaped sweep)\n"},
+     " detected-vs-escaped sweep)\n"
+     "                [--downlink [--workloads ngst,telemetry] [--side N]"
+     " [--frames N]\n"
+     "                [--tile-rows N]] (end-to-end fidelity sweep,"
+     " preprocessing on vs off)\n"},
+    {"downlink",
+     "  spacefts_cli downlink [--workload ngst|telemetry] [--side N]"
+     " [--frames N]\n"
+     "                [--tile-rows N] [--lambda X] [--upsilon N]"
+     " [--gamma0 X]\n"
+     "                [--link-loss X] [--no-preprocess] [--seed S]"
+     " [--threads N]\n"
+     "                [--kernel auto|scalar|swar|avx2] [--out file]"
+     " [--golden-out file]\n"
+     "                [--backend cpu|unreliable|shadowed]"
+     " [--compute-fault-rate X]\n"
+     "                [--compute-fault-seed S] [--shadow-rate X]"
+     " [--backend-log file]\n"},
     {"serve",
      "  spacefts_cli serve [--replay file | --requests N --rate X"
      " [--otis-frac X]\n"
@@ -232,7 +262,11 @@ int bad_flag(const std::string& flag, const char* detail) {
   char* end = nullptr;
   errno = 0;
   out = std::strtod(text, &end);
-  return errno == 0 && *end == '\0';
+  // strtod happily parses "inf" and "nan" with errno == 0, but every
+  // double-valued flag is validated with open-ended comparisons downstream
+  // (budgets, rates, pacing) where an infinity silently passes.  No flag
+  // has a meaningful non-finite value, so reject them here.
+  return errno == 0 && *end == '\0' && std::isfinite(out);
 }
 
 [[nodiscard]] bool parse_size(const char* text, std::size_t& out) {
@@ -856,6 +890,160 @@ int cmd_pipeline(int argc, char** argv) {
   return telem.finish();
 }
 
+/// The end-to-end downlink scenario as a verb: fly the full chain once
+/// (datagen → optional voter → rice → CRC/Hamming frames → faulty link →
+/// deframe → science product) and report fidelity vs the clean-chain
+/// golden.  --out writes the received product as a Rice-compressed FITS —
+/// deterministic bytes, so CI `cmp`s runs across thread counts.
+int cmd_downlink(int argc, char** argv) {
+  spacefts::downlink::ChainConfig config;
+  std::string out_path, golden_path;
+  BackendOptions backend;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const int backend_taken = parse_backend_flag(arg, value, backend);
+    if (backend_taken < 0) return -backend_taken;
+    if (backend_taken > 0) continue;
+    if (arg == "--workload") {
+      const char* v = value();
+      if (v != nullptr && std::string(v) == "ngst") {
+        config.workload = spacefts::downlink::ChainWorkload::kNgstImage;
+      } else if (v != nullptr && std::string(v) == "telemetry") {
+        config.workload = spacefts::downlink::ChainWorkload::kTelemetry;
+      } else {
+        return bad_flag(arg, "must be ngst or telemetry");
+      }
+    } else if (arg == "--side") {
+      if (!parse_size(value(), config.side) || config.side == 0) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--frames") {
+      if (!parse_size(value(), config.frames) || config.frames < 3) {
+        return bad_flag(arg, "need >= 3 frames");
+      }
+    } else if (arg == "--tile-rows") {
+      if (!parse_size(value(), config.tile_rows) || config.tile_rows == 0) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--lambda") {
+      if (!parse_double(value(), config.lambda) || config.lambda < 0.0 ||
+          config.lambda > 100.0) {
+        return bad_flag(arg, "lambda must be in [0, 100]");
+      }
+    } else if (arg == "--upsilon") {
+      if (!parse_size(value(), config.upsilon) || config.upsilon == 0 ||
+          config.upsilon % 2 != 0) {
+        return bad_flag(arg, "upsilon must be a positive even count");
+      }
+    } else if (arg == "--gamma0") {
+      if (!parse_double(value(), config.gamma0) || config.gamma0 < 0.0 ||
+          config.gamma0 > 1.0) {
+        return bad_flag(arg, "gamma0 must be in [0, 1]");
+      }
+    } else if (arg == "--link-loss") {
+      double loss = 0.0;
+      if (!parse_double(value(), loss) || loss < 0.0 || loss > 1.0) {
+        return bad_flag(arg, "link-loss must be in [0, 1]");
+      }
+      config.link.drop_prob = loss;
+      config.link.corrupt_prob = loss;
+      config.link.duplicate_prob = loss / 2.0;
+      config.link.delay_prob = loss;
+    } else if (arg == "--no-preprocess") {
+      config.preprocess = false;
+    } else if (arg == "--seed") {
+      if (!parse_u64(value(), config.seed)) return bad_flag(arg, "bad value");
+    } else if (arg == "--threads") {
+      if (!parse_size(value(), config.threads)) {
+        return bad_flag(arg, "bad value");
+      }
+    } else if (arg == "--kernel") {
+      if (!parse_kernel_flag(value(), config.kernel)) {
+        return bad_flag(arg, "must be auto, scalar, swar, or avx2");
+      }
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      out_path = v;
+    } else if (arg == "--golden-out") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing file argument");
+      golden_path = v;
+    } else if (arg.rfind("--", 0) == 0) {
+      return bad_flag(arg, "unknown flag");
+    } else {
+      return usage();
+    }
+  }
+  if (const char* complaint = backend.validate()) {
+    return bad_flag("--backend", complaint);
+  }
+  for (const std::string* path : {&out_path, &golden_path}) {
+    if (!path->empty() && !probe_writable(*path)) {
+      return bad_flag("--out/--golden-out", "path is not writable");
+    }
+  }
+  std::shared_ptr<spacefts::backend::ShadowBackend> shadow;
+  config.backend = backend.build(&shadow);
+
+  spacefts::downlink::ChainReport report;
+  try {
+    report = spacefts::downlink::run_chain(config);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "downlink: %s\n", ex.what());
+    return kExitFailure;
+  }
+
+  std::printf("downlink: workload=%s side=%zu frames=%zu lambda=%g "
+              "gamma0=%g preprocess=%s\n",
+              spacefts::downlink::to_string(config.workload), config.side,
+              config.frames, config.lambda, config.gamma0,
+              config.preprocess ? "on" : "off");
+  std::printf(
+      "  tiles %zu (%zu degraded), frames sent %zu, dropped %zu, corrupted "
+      "%zu, recovered %zu, hamming repairs %zu\n",
+      report.tiles, report.tiles_degraded, report.frames_sent,
+      report.frames_dropped, report.frames_corrupted, report.frames_recovered,
+      report.words_corrected);
+  std::printf(
+      "  wire %zu bytes for %zu raw (ratio %.3f), memory bits flipped %zu, "
+      "voter corrected %zu pixels (%zu vetoed)\n",
+      report.wire_bytes, report.raw_bytes, report.compression_ratio,
+      report.memory_bits_flipped, report.pixels_corrected,
+      report.pixels_vetoed);
+  std::printf("  fidelity vs golden: psnr %.2f dB, pixel match %.6f\n",
+              report.psnr_db, report.pixel_match);
+
+  const auto write_product =
+      [](const std::string& path,
+         const spacefts::common::Image<std::uint16_t>& image) {
+        spacefts::fits::FitsFile file;
+        file.hdus().push_back(spacefts::downlink::make_compressed_hdu(image));
+        spacefts::fits::write_bytes(path, file.serialize());
+      };
+  try {
+    if (!out_path.empty()) {
+      write_product(out_path, report.product);
+      std::printf("wrote product %s\n", out_path.c_str());
+    }
+    if (!golden_path.empty()) {
+      write_product(golden_path, report.golden);
+      std::printf("wrote golden %s\n", golden_path.c_str());
+    }
+  } catch (const spacefts::fits::FitsError& ex) {
+    std::fprintf(stderr, "downlink: %s\n", ex.what());
+    return kExitFailure;
+  }
+  if (!backend.log_out.empty() && shadow &&
+      !write_backend_log(backend.log_out, shadow)) {
+    return kExitFailure;
+  }
+  return 0;
+}
+
 /// Parses a --shard-kill operand of the form "I@C": kill shard I once the
 /// router has recorded C results.
 bool parse_shard_kill(const char* text, std::size_t& shard,
@@ -877,7 +1065,7 @@ int cmd_campaign(int argc, char** argv) {
   // Drifting-gamma0 controller sweep (--control): reuses --gamma0 as the
   // phase schedule and --lambda as the fixed-baseline grid.
   bool control_mode = false, gamma_set = false, lambda_set = false,
-       out_set = false;
+       link_set = false, out_set = false;
   std::size_t phase_len = 96, drift_shards = 0;
   std::vector<std::pair<std::size_t, std::uint64_t>> drift_kills;
   double control_budget_ms = 0.0;
@@ -886,6 +1074,11 @@ int cmd_campaign(int argc, char** argv) {
   bool compute_mode = false;
   spacefts::campaign::ComputeSweepConfig compute_cfg;
   bool fault_rates_set = false, shadow_rates_set = false, requests_set = false;
+  // End-to-end downlink fidelity sweep (--downlink): reuses the --gamma0/
+  // --link-loss/--lambda grids as chain axes.
+  bool downlink_mode = false;
+  spacefts::campaign::DownlinkSweepConfig downlink_cfg;
+  bool downlink_shape_set = false;
   TelemetryOptions telem;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -905,6 +1098,7 @@ int cmd_campaign(int argc, char** argv) {
       if (!parse_grid(value(), config.link_loss_grid)) {
         return bad_flag(arg, "bad grid value");
       }
+      link_set = true;
     } else if (arg == "--lambda") {
       if (!parse_grid(value(), config.lambda_grid)) {
         return bad_flag(arg, "bad grid value");
@@ -914,6 +1108,46 @@ int cmd_campaign(int argc, char** argv) {
       control_mode = true;
     } else if (arg == "--compute") {
       compute_mode = true;
+    } else if (arg == "--downlink") {
+      downlink_mode = true;
+    } else if (arg == "--workloads") {
+      const char* v = value();
+      if (v == nullptr) return bad_flag(arg, "missing list");
+      downlink_cfg.workload_grid.clear();
+      std::stringstream list(v);
+      std::string token;
+      while (std::getline(list, token, ',')) {
+        if (token == "ngst") {
+          downlink_cfg.workload_grid.push_back(
+              spacefts::downlink::ChainWorkload::kNgstImage);
+        } else if (token == "telemetry") {
+          downlink_cfg.workload_grid.push_back(
+              spacefts::downlink::ChainWorkload::kTelemetry);
+        } else {
+          return bad_flag(arg, "workloads are ngst and telemetry");
+        }
+      }
+      if (downlink_cfg.workload_grid.empty()) {
+        return bad_flag(arg, "missing list");
+      }
+      downlink_shape_set = true;
+    } else if (arg == "--side") {
+      if (!parse_size(value(), downlink_cfg.side) || downlink_cfg.side == 0) {
+        return bad_flag(arg, "bad value");
+      }
+      downlink_shape_set = true;
+    } else if (arg == "--frames") {
+      if (!parse_size(value(), downlink_cfg.frames) ||
+          downlink_cfg.frames < 3) {
+        return bad_flag(arg, "need >= 3 frames");
+      }
+      downlink_shape_set = true;
+    } else if (arg == "--tile-rows") {
+      if (!parse_size(value(), downlink_cfg.tile_rows) ||
+          downlink_cfg.tile_rows == 0) {
+        return bad_flag(arg, "bad value");
+      }
+      downlink_shape_set = true;
     } else if (arg == "--fault-rates") {
       if (!parse_grid(value(), compute_cfg.fault_rate_grid)) {
         return bad_flag(arg, "bad grid value");
@@ -993,12 +1227,65 @@ int cmd_campaign(int argc, char** argv) {
     return bad_flag("--shards/--shard-kill/--control-budget-ms",
                     "require --control");
   }
-  if (control_mode && compute_mode) {
-    return bad_flag("--compute", "incompatible with --control");
+  if (control_mode + compute_mode + downlink_mode > 1) {
+    return bad_flag("--control/--compute/--downlink",
+                    "modes are mutually exclusive");
   }
   if (!compute_mode && (fault_rates_set || shadow_rates_set || requests_set)) {
     return bad_flag("--fault-rates/--shadow-rates/--requests",
                     "require --compute");
+  }
+  if (!downlink_mode && downlink_shape_set) {
+    return bad_flag("--workloads/--side/--frames/--tile-rows",
+                    "require --downlink");
+  }
+
+  if (downlink_mode) {
+    // Shared grid flags override the sweep's own defaults only when given
+    // explicitly — the classic campaign's defaults are not chain defaults.
+    if (gamma_set) downlink_cfg.gamma0_grid = config.gamma0_grid;
+    if (link_set) downlink_cfg.link_loss_grid = config.link_loss_grid;
+    if (lambda_set) downlink_cfg.lambda_grid = config.lambda_grid;
+    downlink_cfg.trials = config.trials;
+    downlink_cfg.seed = config.seed;
+    downlink_cfg.threads = config.threads;
+    telem.arm();
+    spacefts::campaign::DownlinkSweepReport report;
+    try {
+      report = spacefts::campaign::run_downlink_sweep(downlink_cfg);
+    } catch (const std::invalid_argument& ex) {
+      return bad_flag("--downlink", ex.what());
+    }
+    std::printf("%-10s %8s %10s %8s %9s %9s %9s %9s %9s\n", "workload",
+                "gamma0", "link_loss", "lambda", "psnr_on", "psnr_off",
+                "match_on", "match_off", "degraded");
+    for (const auto& c : report.cells) {
+      std::printf("%-10s %8.4g %10.4g %8.4g %9.2f %9.2f %9.4f %9.4f %4zu/%-4zu\n",
+                  spacefts::downlink::to_string(c.workload), c.gamma0,
+                  c.link_loss, c.lambda, c.psnr_on_db, c.psnr_off_db,
+                  c.match_on, c.match_off, c.degraded_on, c.degraded_off);
+    }
+    if (!spacefts::telemetry::jsonl::upsert_jsonl(
+            spacefts::campaign::to_jsonl(report),
+            spacefts::campaign::campaign_row_key, out_path)) {
+      std::fprintf(stderr, "campaign: cannot write %s\n", out_path.c_str());
+      return kExitFailure;
+    }
+    std::printf("campaign: downlink sweep, %zu cells; appended to %s\n",
+                report.cells.size(), out_path.c_str());
+    const int telem_rc = telem.finish();
+    if (enforce) {
+      std::string diagnostics;
+      const std::size_t violations =
+          spacefts::campaign::enforce(report, diagnostics);
+      if (violations > 0) {
+        std::fprintf(stderr, "campaign enforce: %zu violation(s)\n%s",
+                     violations, diagnostics.c_str());
+        return kExitFailure;
+      }
+      std::printf("campaign enforce: pass\n");
+    }
+    return telem_rc;
   }
 
   if (compute_mode) {
@@ -1636,6 +1923,7 @@ int main(int argc, char** argv) {
     if (command == "psi") return cmd_psi(argc, argv);
     if (command == "pipeline") return cmd_pipeline(argc, argv);
     if (command == "campaign") return cmd_campaign(argc, argv);
+    if (command == "downlink") return cmd_downlink(argc, argv);
     if (command == "serve") return cmd_serve(argc, argv);
     if (command == "check") return cmd_check(argc, argv);
   } catch (const std::exception& e) {
